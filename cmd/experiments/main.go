@@ -1,0 +1,104 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation against a synthetic Internet and prints them as text tables.
+//
+// Usage:
+//
+//	experiments [-scale 0.2] [-seed 1] [-budget 8000] [-only Fig7,Table3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"metascritic/experiments"
+	"metascritic/internal/report"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.2, "world scale (1.0 ≈ paper-like metro sizes)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	budget := flag.Int("budget", 8000, "targeted traceroute budget per metro")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	mdOut := flag.String("md", "", "also write all tables as a markdown report to this file")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToLower(id)] = true
+		}
+	}
+	runAll := len(want) == 0
+	should := func(id string) bool { return runAll || want[strings.ToLower(id)] }
+
+	fmt.Printf("generating world (scale %.2f, seed %d)...\n", *scale, *seed)
+	start := time.Now()
+	h := experiments.NewHarness(experiments.Options{
+		Scale: *scale, Seed: *seed, Budget: *budget,
+	})
+	fmt.Printf("world ready in %v: %d ASes, %d probes\n\n", time.Since(start).Round(time.Millisecond),
+		h.W.G.N(), len(h.W.Probes))
+
+	var md *os.File
+	if *mdOut != "" {
+		f, err := os.Create(*mdOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		md = f
+		fmt.Fprintf(md, "# metAScritic experiment report (scale %.2f, seed %d)\n\n", *scale, *seed)
+	}
+
+	show := func(id string, run func() *experiments.Table) {
+		if !should(id) {
+			return
+		}
+		t0 := time.Now()
+		tbl := run()
+		fmt.Println(tbl.String())
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
+		if md != nil {
+			if err := report.Markdown(md, tbl); err != nil {
+				fmt.Fprintln(os.Stderr, "markdown:", err)
+			}
+		}
+	}
+
+	show("Fig1", func() *experiments.Table { _, t := experiments.Fig1(h); return t })
+	show("Fig3", func() *experiments.Table { _, t := experiments.Fig3(h); return t })
+	show("Fig4", func() *experiments.Table { _, t := experiments.Fig4(h); return t })
+	show("Fig5", func() *experiments.Table { _, t := experiments.Fig5(h); return t })
+	show("Fig6", func() *experiments.Table { _, t := experiments.Fig6(h); return t })
+	show("Fig7", func() *experiments.Table { _, t := experiments.Fig7(h); return t })
+	show("Fig8", func() *experiments.Table { _, t := experiments.Fig8(h); return t })
+	show("Fig9", func() *experiments.Table { _, t := experiments.Fig9(h); return t })
+	show("Fig9M", func() *experiments.Table { _, t := experiments.Fig9Measured(h); return t })
+	show("Fig10", func() *experiments.Table { _, t := experiments.Fig10(h, 60, 5); return t })
+	show("Fig11", func() *experiments.Table { _, t := experiments.Fig11(h); return t })
+	show("Fig12", func() *experiments.Table { _, t := experiments.Fig12(h); return t })
+	show("Fig13", func() *experiments.Table {
+		_, force, t := experiments.Fig13And14(h)
+		fmt.Println("Fig. 14 — force explanation of the top inferred link:")
+		fmt.Println(force)
+		return t
+	})
+	show("Fig15", func() *experiments.Table { _, t := experiments.Fig15(h); return t })
+	show("Fig16", func() *experiments.Table { _, t := experiments.Fig16(h); return t })
+	show("Table2", func() *experiments.Table { _, t := experiments.Table2(h); return t })
+	show("Table3", func() *experiments.Table { _, t := experiments.Table3(h); return t })
+	show("Table4", func() *experiments.Table { _, t := experiments.Table4(h); return t })
+	show("Table5", func() *experiments.Table { _, t := experiments.Table5(h); return t })
+	show("E3", func() *experiments.Table { _, t := experiments.E3(h); return t })
+	show("E7", func() *experiments.Table { _, t := experiments.E7(h); return t })
+	show("AblEpsilon", func() *experiments.Table { _, t := experiments.AblationEpsilon(h); return t })
+	show("AblFeatures", func() *experiments.Table { _, t := experiments.AblationFeatureWeight(h); return t })
+	show("AblTransfer", func() *experiments.Table { _, t := experiments.AblationTransferability(h); return t })
+	show("AblPrior", func() *experiments.Table { _, t := experiments.AblationHierarchicalPrior(h); return t })
+
+	fmt.Printf("all experiments done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,154 @@
+// Command hijackmon demonstrates the paper's §6 application: predicting
+// the blast radius of a prefix hijack. It generates a world, runs
+// metAScritic on the victim's and attacker's metros, and compares the
+// predicted set of hijacked ASes under (a) the public-BGP topology and
+// (b) the topology extended with metAScritic's measured and inferred
+// links — against the ground-truth catchment.
+//
+// Usage:
+//
+//	hijackmon [-scale 0.2] [-seed 1] [-victim Sydney] [-attacker Tokyo] [-thr 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"metascritic"
+	"metascritic/internal/asgraph"
+	"metascritic/internal/bgp"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.2, "world scale")
+	seed := flag.Int64("seed", 1, "world seed")
+	victimMetro := flag.String("victim", "Sydney", "metro of the legitimate announcement")
+	attackerMetro := flag.String("attacker", "Tokyo", "metro of the hijacking announcement")
+	thr := flag.Float64("thr", 0.5, "link threshold λ for inferred links")
+	budget := flag.Int("budget", 6000, "traceroute budget per metro")
+	flag.Parse()
+
+	w := metascritic.GenerateWorld(metascritic.WorldConfig{Seed: *seed, Metros: metascritic.DefaultMetros(*scale)})
+	g := w.G
+	vm := g.MetroOfName(*victimMetro)
+	am := g.MetroOfName(*attackerMetro)
+	if vm == nil || am == nil {
+		fmt.Fprintln(os.Stderr, "unknown metro name")
+		os.Exit(1)
+	}
+
+	// Run metAScritic on both metros.
+	pipe := metascritic.NewPipeline(w)
+	rng := rand.New(rand.NewSource(*seed))
+	pipe.SeedPublicMeasurements(10, rng)
+	cfg := metascritic.DefaultConfig()
+	cfg.MaxMeasurements = *budget
+	fmt.Printf("running metAScritic on %s and %s...\n", vm.Name, am.Name)
+	resV := pipe.RunMetro(vm.Index, cfg)
+	resA := pipe.RunMetro(am.Index, cfg)
+
+	// Announcement seeds: a couple of transit providers at each metro.
+	seeds := func(m *asgraph.Metro) []int {
+		var out []int
+		for _, ai := range m.Members {
+			c := g.ASes[ai].Class
+			if (c == asgraph.Transit || c == asgraph.LargeISP) && len(out) < 2 {
+				out = append(out, ai)
+			}
+		}
+		return out
+	}
+	vict, att := seeds(vm), seeds(am)
+	if len(vict) == 0 || len(att) == 0 {
+		fmt.Fprintln(os.Stderr, "no transit seeds at one of the metros")
+		os.Exit(1)
+	}
+
+	// Ground truth.
+	truth := bgp.FromGraph(g)
+	actual := truth.SimulateHijack(vict, att)
+
+	// Prediction topologies: known c2p relationships + peering link sets.
+	buildTopo := func(extra []asgraph.Pair) *bgp.Topology {
+		t := bgp.NewTopology(g.N())
+		for c := range g.Providers {
+			for _, p := range g.Providers[c] {
+				t.AddC2P(c, p)
+			}
+		}
+		added := map[asgraph.Pair]bool{}
+		for _, pr := range extra {
+			if added[pr] || g.HasProvider(pr.A, pr.B) || g.HasProvider(pr.B, pr.A) {
+				continue
+			}
+			added[pr] = true
+			t.AddP2P(pr.A, pr.B)
+		}
+		return t
+	}
+	// Public view: Tier1 mesh only (the minimum any collector sees).
+	var pub []asgraph.Pair
+	for a := range g.Peers {
+		if g.ASes[a].Class != asgraph.Tier1 {
+			continue
+		}
+		for _, b := range g.Peers[a] {
+			if a < b && g.ASes[b].Class == asgraph.Tier1 {
+				pub = append(pub, asgraph.MakePair(a, b))
+			}
+		}
+	}
+	ext := append([]asgraph.Pair(nil), pub...)
+	for _, res := range []*metascritic.Result{resV, resA} {
+		prog := metascritic.NewProgressiveTopology(res)
+		for _, l := range prog.AtConfidence(*thr) {
+			ext = append(ext, l.Pair)
+		}
+	}
+
+	score := func(t *bgp.Topology) (acc float64, hijacked int) {
+		pred := t.SimulateHijack(vict, att)
+		good := 0
+		for as := range actual {
+			actHij := actual[as]&bgp.FlagAttacker != 0
+			predHij := pred[as]&bgp.FlagAttacker != 0
+			predLegit := pred[as]&bgp.FlagVictim != 0
+			if predHij == actHij || (predHij && predLegit) {
+				good++
+			}
+			if predHij {
+				hijacked++
+			}
+		}
+		return float64(good) / float64(len(actual)), hijacked
+	}
+
+	actualHijacked := 0
+	for _, f := range actual {
+		if f&bgp.FlagAttacker != 0 {
+			actualHijacked++
+		}
+	}
+	sort.Ints(vict)
+	sort.Ints(att)
+	fmt.Printf("\nvictim seeds %v at %s, attacker seeds %v at %s\n", asns(g, vict), vm.Name, asns(g, att), am.Name)
+	fmt.Printf("ground truth: %d of %d ASes receive the hijacked route\n\n", actualHijacked, g.N())
+
+	accPub, hijPub := score(buildTopo(pub))
+	accExt, hijExt := score(buildTopo(ext))
+	fmt.Printf("%-28s accuracy %.3f  predicted-hijacked %d\n", "public BGP topology:", accPub, hijPub)
+	fmt.Printf("%-28s accuracy %.3f  predicted-hijacked %d\n", "+ metAScritic links:", accExt, hijExt)
+	fmt.Printf("\naccuracy delta from metAScritic links: %+.1f points\n", 100*(accExt-accPub))
+	fmt.Println("(single configuration; the Fig. 7 experiment aggregates 90 of them)")
+}
+
+func asns(g *asgraph.Graph, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, x := range idx {
+		out[i] = g.ASes[x].ASN
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+// Command worldgen generates a synthetic Internet and dumps it as JSON:
+// ASes with their public features, metros, IXPs, and — optionally — the
+// ground-truth link set (for debugging and for use as a fixture by other
+// tools).
+//
+// Usage:
+//
+//	worldgen [-scale 0.2] [-seed 1] [-truth] [-o world.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"metascritic"
+	"metascritic/internal/asgraph"
+)
+
+type jsonAS struct {
+	ASN      int      `json:"asn"`
+	Class    string   `json:"class"`
+	Policy   string   `json:"policy"`
+	Traffic  string   `json:"traffic"`
+	Eyeballs int      `json:"eyeballs"`
+	Country  string   `json:"country"`
+	Metros   []string `json:"metros"`
+	IXPs     []string `json:"ixps,omitempty"`
+	Probe    bool     `json:"hosts_probe"`
+}
+
+type jsonMetro struct {
+	Name    string   `json:"name"`
+	Country string   `json:"country"`
+	Members int      `json:"members"`
+	IXPs    []string `json:"ixps,omitempty"`
+}
+
+type jsonLink struct {
+	ASNA   int      `json:"asn_a"`
+	ASNB   int      `json:"asn_b"`
+	Rel    string   `json:"relationship"`
+	Metros []string `json:"metros"`
+}
+
+type jsonWorld struct {
+	Seed   int64       `json:"seed"`
+	ASes   []jsonAS    `json:"ases"`
+	Metros []jsonMetro `json:"metros"`
+	Truth  []jsonLink  `json:"truth_links,omitempty"`
+}
+
+func main() {
+	scale := flag.Float64("scale", 0.2, "world scale")
+	seed := flag.Int64("seed", 1, "generation seed")
+	truth := flag.Bool("truth", false, "include ground-truth links (large)")
+	out := flag.String("o", "-", "output file ('-' for stdout)")
+	flag.Parse()
+
+	w := metascritic.GenerateWorld(metascritic.WorldConfig{
+		Seed:   *seed,
+		Metros: metascritic.DefaultMetros(*scale),
+	})
+	g := w.G
+
+	metroName := func(m int) string { return g.Metros[m].Name }
+	doc := jsonWorld{Seed: *seed}
+	for _, a := range g.ASes {
+		ja := jsonAS{
+			ASN:      a.ASN,
+			Class:    a.Class.String(),
+			Policy:   a.Policy.String(),
+			Traffic:  a.Traffic.String(),
+			Eyeballs: a.Eyeballs,
+			Country:  g.Countries[a.Country].Code,
+			Probe:    w.HasProbe(a.Index),
+		}
+		for _, m := range a.Metros {
+			ja.Metros = append(ja.Metros, metroName(m))
+		}
+		for _, ix := range a.IXPs {
+			ja.IXPs = append(ja.IXPs, g.IXPs[ix].Name)
+		}
+		doc.ASes = append(doc.ASes, ja)
+	}
+	for _, m := range g.Metros {
+		jm := jsonMetro{Name: m.Name, Country: g.Countries[m.Country].Code, Members: len(m.Members)}
+		for _, ix := range m.IXPs {
+			jm.IXPs = append(jm.IXPs, g.IXPs[ix].Name)
+		}
+		doc.Metros = append(doc.Metros, jm)
+	}
+	if *truth {
+		for pr, metros := range w.LinkMetros {
+			rel := "p2p"
+			if r, _ := w.RelOf(pr.A, pr.B); r == asgraph.C2P {
+				rel = "c2p"
+			}
+			jl := jsonLink{ASNA: g.ASes[pr.A].ASN, ASNB: g.ASes[pr.B].ASN, Rel: rel}
+			for _, m := range metros {
+				jl.Metros = append(jl.Metros, metroName(m))
+			}
+			doc.Truth = append(doc.Truth, jl)
+		}
+	}
+
+	dst := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

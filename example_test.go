@@ -1,0 +1,57 @@
+package metascritic_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"metascritic"
+)
+
+// Example shows the minimal end-to-end flow: generate a world, seed public
+// measurements, run metAScritic on a metro and read out the inferences.
+func Example() {
+	world := metascritic.GenerateWorld(metascritic.WorldConfig{
+		Seed:   1,
+		Metros: metascritic.DefaultMetros(0.06),
+	})
+	pipe := metascritic.NewPipeline(world)
+	pipe.SeedPublicMeasurements(5, rand.New(rand.NewSource(1)))
+
+	metro := world.G.MetroOfName("Tokyo")
+	cfg := metascritic.DefaultConfig()
+	cfg.MaxMeasurements = 400
+	cfg.Rank.MaxRank = 6
+	cfg.Rank.Iterations = 4
+	res := pipe.RunMetro(metro.Index, cfg)
+
+	fmt.Println(res.Rank >= 1)
+	fmt.Println(len(res.LinksAbove(0.9)) <= len(res.LinksAbove(0.3)))
+	// Output:
+	// true
+	// true
+}
+
+// ExampleProgressiveTopology demonstrates the §5.1 threshold-sweep
+// framework: links ordered by confidence, consumed at any operating point.
+func ExampleProgressiveTopology() {
+	world := metascritic.GenerateWorld(metascritic.WorldConfig{
+		Seed:   2,
+		Metros: metascritic.DefaultMetros(0.06),
+	})
+	pipe := metascritic.NewPipeline(world)
+	pipe.SeedPublicMeasurements(5, rand.New(rand.NewSource(1)))
+	cfg := metascritic.DefaultConfig()
+	cfg.MaxMeasurements = 400
+	cfg.Rank.MaxRank = 5
+	cfg.Rank.Iterations = 4
+	res := pipe.RunMetro(world.G.MetroOfName("Osaka").Index, cfg)
+
+	prog := metascritic.NewProgressiveTopology(res)
+	high := prog.AtConfidence(0.9)
+	all := prog.AtConfidence(0.0)
+	fmt.Println(len(high) <= len(all))
+	fmt.Println(len(all) > 0)
+	// Output:
+	// true
+	// true
+}

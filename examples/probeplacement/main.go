@@ -1,0 +1,74 @@
+// Probe placement (§5.1): use metAScritic's probabilistic topology to rank
+// where a measurement platform (e.g. RIPE Atlas) should deploy its next
+// vantage points — the ASes whose rows carry the most residual
+// uncertainty.
+//
+//	go run ./examples/probeplacement
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"metascritic"
+)
+
+func main() {
+	world := metascritic.GenerateWorld(metascritic.WorldConfig{
+		Seed:   5,
+		Metros: metascritic.DefaultMetros(0.15),
+	})
+	pipe := metascritic.NewPipeline(world)
+	rng := rand.New(rand.NewSource(2))
+	pipe.SeedPublicMeasurements(10, rng)
+
+	metro := world.G.MetroOfName("SaoPaulo") // the paper's hardest metro
+	cfg := metascritic.DefaultConfig()
+	cfg.MaxMeasurements = 4000
+	res := pipe.RunMetro(metro.Index, cfg)
+	fmt.Printf("%s: %d members, rank %d, %d targeted traceroutes\n\n",
+		metro.Name, len(res.Members), res.Rank, res.Measurements)
+
+	// Residual uncertainty of a pair: unobserved entries whose completed
+	// rating sits near the decision boundary contribute the most; a new
+	// probe inside an AS would let us *measure* its row instead of
+	// inferring it (§5.1: "the best locations could be those predicted to
+	// remove the most uncertainty from the topology").
+	type cand struct {
+		as          int
+		uncertainty float64
+		unobserved  int
+	}
+	var cands []cand
+	n := len(res.Members)
+	for i := 0; i < n; i++ {
+		ai := res.Members[i]
+		if world.HasProbe(ai) {
+			continue // already hosts a vantage point
+		}
+		var u float64
+		unobs := 0
+		for j := 0; j < n; j++ {
+			if j == i || res.Estimate.Mask.Has(i, j) {
+				continue
+			}
+			unobs++
+			// Ratings near the threshold are the least certain.
+			u += 1 - math.Min(1, math.Abs(res.Ratings.At(i, j)-res.Threshold)/0.5)
+		}
+		cands = append(cands, cand{as: ai, uncertainty: u, unobserved: unobs})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].uncertainty > cands[b].uncertainty })
+
+	fmt.Println("top candidate ASes for new vantage points (highest residual uncertainty):")
+	for k, c := range cands {
+		if k >= 10 {
+			break
+		}
+		a := world.G.ASes[c.as]
+		fmt.Printf("  %2d. AS%-6d %-10v policy=%-11v unobserved entries=%-4d uncertainty=%.1f\n",
+			k+1, a.ASN, a.Class, a.Policy, c.unobserved, c.uncertainty)
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: generate a small synthetic Internet, run metAScritic on one
+// metro, and inspect the inferred topology.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"metascritic"
+)
+
+func main() {
+	// 1. Generate a world. Scale 0.15 keeps this example under a few
+	//    seconds; 1.0 approaches the paper's metro sizes.
+	world := metascritic.GenerateWorld(metascritic.WorldConfig{
+		Seed:   42,
+		Metros: metascritic.DefaultMetros(0.15),
+	})
+	fmt.Printf("generated %d ASes across %d metros (%d vantage points)\n",
+		world.G.N(), len(world.G.Metros), len(world.Probes))
+
+	// 2. Build a pipeline and seed it with "public" traceroutes — the
+	//    RIPE Atlas / CAIDA Ark archives of the paper.
+	pipe := metascritic.NewPipeline(world)
+	rng := rand.New(rand.NewSource(1))
+	seeded := pipe.SeedPublicMeasurements(10, rng)
+	fmt.Printf("seeded %d public traceroutes\n", seeded)
+
+	// 3. Run metAScritic on a metro: iterative rank estimation with
+	//    targeted traceroutes, then hybrid matrix completion.
+	metro := world.G.MetroOfName("Singapore")
+	cfg := metascritic.DefaultConfig()
+	cfg.MaxMeasurements = 5000
+	res := pipe.RunMetro(metro.Index, cfg)
+
+	fmt.Printf("\n%s: %d member ASes\n", metro.Name, len(res.Members))
+	fmt.Printf("estimated effective rank r = %d\n", res.Rank)
+	fmt.Printf("targeted traceroutes issued: %d (budget %d)\n", res.Measurements, cfg.MaxMeasurements)
+	fmt.Printf("observed entries in E_m: %d of %d pairs\n",
+		res.Estimate.Mask.Count()/2, len(res.Members)*(len(res.Members)-1)/2)
+
+	// 4. Translate ratings into links. Sweeping the threshold trades
+	//    precision for recall (§5.1).
+	for _, thr := range []float64{0.9, 0.7, 0.5, 0.3} {
+		links := res.LinksAbove(thr)
+		// Because this is a simulation we can check against ground truth.
+		correct := 0
+		for _, pr := range links {
+			if world.Truths[metro.Index].Has(pr.A, pr.B) {
+				correct++
+			}
+		}
+		prec := 0.0
+		if len(links) > 0 {
+			prec = float64(correct) / float64(len(links))
+		}
+		fmt.Printf("λ = %.1f: %4d links, precision vs ground truth %.2f\n", thr, len(links), prec)
+	}
+
+	// 5. Per-pair confidence scores are available directly.
+	a, b := res.Members[0], res.Members[1]
+	fmt.Printf("\nrating(AS%d, AS%d) = %.3f\n",
+		world.G.ASes[a].ASN, world.G.ASes[b].ASN, res.Rating(a, b))
+}

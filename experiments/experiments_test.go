@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeSmoke exercises the public experiment API end to end on a tiny
+// world, using only drivers that don't require full pipeline runs (the
+// heavyweight drivers are covered by internal/eval's tests).
+func TestFacadeSmoke(t *testing.T) {
+	h := NewHarness(Options{Scale: 0.06, Seed: 9, PublicPerProbe: 4, Budget: 300, MaxRank: 5})
+	if h.W == nil || h.P == nil {
+		t.Fatalf("harness incomplete")
+	}
+	// Fig6 needs no pipeline runs.
+	rows, tbl := Fig6(h)
+	if len(rows) == 0 {
+		t.Fatalf("Fig6 empty")
+	}
+	if !strings.Contains(tbl.String(), "Fig. 6") {
+		t.Fatalf("table title missing")
+	}
+	// Fig9 reads ground truth only.
+	res9, _ := Fig9(h)
+	if res9.FracHalf < res9.FracAll {
+		t.Fatalf("Fig9 fractions inconsistent")
+	}
+	// Fig1 reads the graph only.
+	rows1, _ := Fig1(h)
+	if len(rows1) == 0 {
+		t.Fatalf("Fig1 empty")
+	}
+	// Split constants round-trip through the alias.
+	if Stratified.String() != "Stratified" || CompletelyOut.String() != "Completely Out" {
+		t.Fatalf("split kind aliases broken")
+	}
+	if DefaultOptions().Scale == 0 {
+		t.Fatalf("default options empty")
+	}
+}

@@ -1,0 +1,58 @@
+package metascritic
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Export is the serializable form of a metro result: everything a
+// downstream consumer (BGP-hijack monitor, topology modeler, …) needs,
+// with ASNs instead of internal indices.
+type Export struct {
+	Metro         string       `json:"metro"`
+	MemberASNs    []int        `json:"member_asns"`
+	EffectiveRank int          `json:"effective_rank"`
+	Threshold     float64      `json:"threshold"`
+	Measurements  int          `json:"measurements"`
+	Links         []ExportLink `json:"links"`
+}
+
+// ExportLink is one measured or inferred link.
+type ExportLink struct {
+	ASNA     int     `json:"asn_a"`
+	ASNB     int     `json:"asn_b"`
+	Rating   float64 `json:"rating"`
+	Measured bool    `json:"measured"`
+}
+
+// Export converts a result into its serializable form, including every
+// link whose rating clears minRating (measured links always included).
+func (p *Pipeline) Export(res *Result, minRating float64) Export {
+	g := p.World.G
+	out := Export{
+		Metro:         g.Metros[res.Metro].Name,
+		EffectiveRank: res.Rank,
+		Threshold:     res.Threshold,
+		Measurements:  res.Measurements,
+	}
+	for _, ai := range res.Members {
+		out.MemberASNs = append(out.MemberASNs, g.ASes[ai].ASN)
+	}
+	prog := NewProgressiveTopology(res)
+	for _, l := range prog.AtConfidence(minRating) {
+		out.Links = append(out.Links, ExportLink{
+			ASNA:     g.ASes[l.Pair.A].ASN,
+			ASNB:     g.ASes[l.Pair.B].ASN,
+			Rating:   l.Rating,
+			Measured: l.Measured,
+		})
+	}
+	return out
+}
+
+// WriteJSON serializes the export as indented JSON.
+func (e Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}

@@ -1,0 +1,45 @@
+package metascritic
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestExportRoundTrip(t *testing.T) {
+	p, res := topoResult(t)
+	exp := p.Export(res, 0.5)
+	if exp.Metro == "" || exp.EffectiveRank != res.Rank {
+		t.Fatalf("export metadata wrong: %+v", exp)
+	}
+	if len(exp.MemberASNs) != len(res.Members) {
+		t.Fatalf("member count mismatch")
+	}
+	if len(exp.Links) == 0 {
+		t.Fatalf("no links exported")
+	}
+	asnSet := map[int]bool{}
+	for _, a := range exp.MemberASNs {
+		asnSet[a] = true
+	}
+	for _, l := range exp.Links {
+		if !asnSet[l.ASNA] || !asnSet[l.ASNB] {
+			t.Fatalf("link references non-member ASN: %+v", l)
+		}
+		if l.Rating < 0.5 && !l.Measured {
+			t.Fatalf("link below minRating exported: %+v", l)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := exp.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Export
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Metro != exp.Metro || len(back.Links) != len(exp.Links) {
+		t.Fatalf("round trip lost data")
+	}
+}

@@ -1,0 +1,128 @@
+package metascritic
+
+import (
+	"math/rand"
+	"testing"
+
+	"metascritic/internal/ipmap"
+	"metascritic/internal/netsim"
+	"metascritic/internal/obs"
+)
+
+// Failure-injection tests: the pipeline must degrade gracefully, never
+// panic, under hostile conditions — zero budget, no probes, broken hop
+// resolution, empty metros.
+
+func TestPipelineZeroBudget(t *testing.T) {
+	w := smallWorld(21)
+	p := NewPipeline(w)
+	rng := rand.New(rand.NewSource(1))
+	p.SeedPublicMeasurements(5, rng)
+	cfg := DefaultConfig()
+	cfg.MaxMeasurements = 0
+	cfg.Rank.MaxRank = 6
+	cfg.Rank.Iterations = 4
+	res := p.RunMetro(w.G.MetroOfName("Tokyo").Index, cfg)
+	if res.Measurements != 0 {
+		t.Fatalf("zero budget issued %d measurements", res.Measurements)
+	}
+	if res.Ratings == nil || res.Rank < 1 {
+		t.Fatalf("zero-budget run should still complete from public data")
+	}
+}
+
+func TestPipelineNoPublicSeed(t *testing.T) {
+	// No public traces at all: only bootstrap + targeted measurements.
+	w := smallWorld(22)
+	p := NewPipeline(w)
+	cfg := DefaultConfig()
+	cfg.MaxMeasurements = 600
+	cfg.BatchSize = 60
+	cfg.Rank.MaxRank = 6
+	cfg.Rank.Iterations = 4
+	res := p.RunMetro(w.G.MetroOfName("Osaka").Index, cfg)
+	if res.Measurements == 0 {
+		t.Fatalf("expected targeted measurements from a cold start")
+	}
+	if res.Estimate.Mask.Count() == 0 {
+		t.Fatalf("cold start should still observe entries")
+	}
+}
+
+func TestStoreWithBrokenResolver(t *testing.T) {
+	// A resolver that fails on every hop: traces teach nothing, but
+	// nothing crashes and estimates stay empty.
+	w := smallWorld(23)
+	e := NewPipeline(w).Engine
+	broken := func(a ipmap.Addr) (ipmap.Info, bool) { return ipmap.Info{}, false }
+	store := obs.NewStore(w.G, broken)
+	pr := w.Probes[0]
+	for dst := 0; dst < 40; dst++ {
+		if dst == pr.AS {
+			continue
+		}
+		if f := store.AddTrace(e.Run(pr.AS, pr.Metro, dst)); len(f) != 0 {
+			t.Fatalf("broken resolver produced findings")
+		}
+	}
+	est := store.Estimate(0, w.G.Metros[0].Members, obs.NegMetascritic)
+	if est.Mask.Count() != 0 {
+		t.Fatalf("broken resolver should observe nothing")
+	}
+}
+
+func TestStoreWithLyingResolver(t *testing.T) {
+	// A resolver that misattributes every hop to a single AS: crossings
+	// collapse, so no direct findings between distinct ASes appear.
+	w := smallWorld(24)
+	e := NewPipeline(w).Engine
+	lying := func(a ipmap.Addr) (ipmap.Info, bool) {
+		return ipmap.Info{AS: 0, Metro: 0, IXP: -1}, a != 0
+	}
+	store := obs.NewStore(w.G, lying)
+	pr := w.Probes[0]
+	for dst := 0; dst < 40; dst++ {
+		if dst == pr.AS {
+			continue
+		}
+		for _, f := range store.AddTrace(e.Run(pr.AS, pr.Metro, dst)) {
+			if f.Pair.A != f.Pair.B {
+				t.Fatalf("single-AS resolver cannot yield cross-AS findings: %+v", f)
+			}
+		}
+	}
+}
+
+func TestRunMetroOnEmptyishMetro(t *testing.T) {
+	// A metro whose members all lack probes and targets still completes
+	// without panicking (the São Paulo scenario taken to the extreme).
+	w := netsim.Generate(netsim.Config{
+		Seed: 25,
+		Metros: append(netsim.DefaultMetros(0.06), netsim.MetroSpec{
+			Name: "Nowhere", Country: "ZZ", Continent: "AF", NumASes: 20, VPCoverage: 0, Primary: false,
+		}),
+	})
+	p := NewPipeline(w)
+	cfg := DefaultConfig()
+	cfg.MaxMeasurements = 200
+	cfg.BatchSize = 40
+	cfg.Rank.MaxRank = 4
+	cfg.Rank.Iterations = 3
+	res := p.RunMetro(w.G.MetroOfName("Nowhere").Index, cfg)
+	if res.Ratings == nil {
+		t.Fatalf("no ratings for empty metro")
+	}
+	// Confidence should be low across the board: few strong inferences.
+	strong := 0
+	n := len(res.Members)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if res.Ratings.At(i, j) > 0.9 {
+				strong++
+			}
+		}
+	}
+	if n > 1 && strong > n*n/4 {
+		t.Fatalf("probe-less metro produced %d high-confidence inferences", strong)
+	}
+}

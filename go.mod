@@ -1,0 +1,3 @@
+module metascritic
+
+go 1.22

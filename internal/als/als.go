@@ -1,0 +1,299 @@
+// Package als implements the hybrid matrix-completion recommender of §3.1
+// and Appx. D.4: Alternating Least Squares factorization of the estimated
+// connectivity matrix E_m, augmented with per-AS feature columns so that AS
+// attributes (traffic profile, peering policy, eyeballs, cone size, ...)
+// inform the completion alongside observed links. The relative weight of
+// feature entries versus link entries is a hyperparameter, as is the
+// regularizer (tuned against a holdout, Appx. D.4).
+package als
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"metascritic/internal/mat"
+)
+
+// Options configures a completion run.
+type Options struct {
+	// Rank is the factorization rank r.
+	Rank int
+	// Lambda is the L2 regularization strength (must be > 0).
+	Lambda float64
+	// FeatureWeight is the weight of feature entries relative to observed
+	// link entries (the features-vs-links balance of §3.1).
+	FeatureWeight float64
+	// Iterations is the number of ALS sweeps.
+	Iterations int
+	// Seed seeds the factor initialization.
+	Seed int64
+}
+
+// DefaultOptions returns sensible defaults for a given rank.
+func DefaultOptions(rank int) Options {
+	return Options{Rank: rank, Lambda: 0.08, FeatureWeight: 0.35, Iterations: 12, Seed: 1}
+}
+
+// observation is one weighted observed entry of the augmented matrix.
+type observation struct {
+	col    int
+	value  float64
+	weight float64
+}
+
+// Complete runs hybrid ALS over the estimated matrix E (n×n, symmetric,
+// entries meaningful only where mask is set) augmented with the feature
+// matrix (n×f, one row per AS; columns are normalized internally). It
+// returns the completed n×n rating matrix with entries clipped to [-1, 1].
+func Complete(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, opts Options) *mat.Matrix {
+	n := E.Rows
+	f := 0
+	var feat *mat.Matrix
+	if features != nil && opts.FeatureWeight > 0 {
+		feat = normalizeColumns(features)
+		f = feat.Cols
+	}
+	dim := n + f
+	k := opts.Rank
+	if k < 1 {
+		k = 1
+	}
+	if k > dim {
+		k = dim
+	}
+	if opts.Iterations < 1 {
+		opts.Iterations = 1
+	}
+
+	// Observed entries of the augmented symmetric matrix, stored per row.
+	rows := make([][]observation, dim)
+	addObs := func(i, j int, v, w float64) {
+		rows[i] = append(rows[i], observation{col: j, value: v, weight: w})
+		if i != j {
+			rows[j] = append(rows[j], observation{col: i, value: v, weight: w})
+		}
+	}
+	mask.Entries(func(i, j int) {
+		addObs(i, j, E.At(i, j), 1)
+	})
+	for i := 0; i < n; i++ {
+		for c := 0; c < f; c++ {
+			addObs(i, n+c, feat.At(i, c), opts.FeatureWeight)
+		}
+	}
+	// Mask iteration order is map-random; sort each row so the floating-
+	// point accumulation order (and thus the result) is deterministic.
+	for i := range rows {
+		sort.Slice(rows[i], func(a, b int) bool { return rows[i][a].col < rows[i][b].col })
+	}
+
+	// Factor initialization: small random values.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	P := mat.New(dim, k)
+	Q := mat.New(dim, k)
+	for i := range P.Data {
+		P.Data[i] = 0.1 * rng.NormFloat64()
+		Q.Data[i] = 0.1 * rng.NormFloat64()
+	}
+
+	for it := 0; it < opts.Iterations; it++ {
+		solveSide(rows, Q, P, opts.Lambda) // fix Q, solve P rows
+		solveSide(rows, P, Q, opts.Lambda) // fix P, solve Q rows
+	}
+
+	// Ratings: symmetrized product restricted to the AS block.
+	out := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		pi := P.Row(i)
+		qi := Q.Row(i)
+		for j := i; j < n; j++ {
+			pj := P.Row(j)
+			qj := Q.Row(j)
+			var a, b float64
+			for d := 0; d < k; d++ {
+				a += pi[d] * qj[d]
+				b += pj[d] * qi[d]
+			}
+			v := clip((a+b)/2, -1, 1)
+			out.Set(i, j, v)
+			out.Set(j, i, v)
+		}
+	}
+	return out
+}
+
+// solveSide solves, for every row i, the regularized least squares
+//
+//	(Σ_j w_ij fixed_j fixed_jᵀ + λΣw I) free_i = Σ_j w_ij A_ij fixed_j
+//
+// writing the result into free. Rows are independent, so they are solved
+// by a bounded worker pool; each worker owns its scratch buffers and
+// writes only its own rows, keeping the result bit-identical to the
+// sequential computation.
+func solveSide(rows [][]observation, fixed, free *mat.Matrix, lambda float64) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			k := fixed.Cols
+			ata := mat.New(k, k)
+			atb := make([]float64, k)
+			for i := start; i < len(rows); i += workers {
+				solveRow(rows[i], fixed, free.Row(i), lambda, ata, atb)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// solveRow solves one row's normal equations into out, reusing the caller's
+// scratch matrices.
+func solveRow(obs []observation, fixed *mat.Matrix, out []float64, lambda float64, ata *mat.Matrix, atb []float64) {
+	k := fixed.Cols
+	if len(obs) == 0 {
+		// No information: shrink toward zero.
+		for d := range out {
+			out[d] = 0
+		}
+		return
+	}
+	for x := range ata.Data {
+		ata.Data[x] = 0
+	}
+	for d := range atb {
+		atb[d] = 0
+	}
+	var wsum float64
+	for _, o := range obs {
+		q := fixed.Row(o.col)
+		w := o.weight
+		wsum += w
+		for a := 0; a < k; a++ {
+			wqa := w * q[a]
+			atb[a] += wqa * o.value
+			arow := ata.Row(a)
+			for b := a; b < k; b++ {
+				arow[b] += wqa * q[b]
+			}
+		}
+	}
+	// Mirror the upper triangle and add the regularizer.
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			ata.Set(b, a, ata.At(a, b))
+		}
+		ata.Add(a, a, lambda*wsum+1e-9)
+	}
+	sol, err := mat.CholeskySolve(ata, atb)
+	if err != nil {
+		return // keep previous factors for this row
+	}
+	copy(out, sol)
+}
+
+// normalizeColumns rescales each feature column to [-1, 1] (max-abs after
+// centering), so features are commensurate with the rating scale.
+func normalizeColumns(m *mat.Matrix) *mat.Matrix {
+	out := m.Clone()
+	for c := 0; c < m.Cols; c++ {
+		var mean float64
+		for r := 0; r < m.Rows; r++ {
+			mean += m.At(r, c)
+		}
+		mean /= float64(m.Rows)
+		var maxAbs float64
+		for r := 0; r < m.Rows; r++ {
+			v := math.Abs(m.At(r, c) - mean)
+			if v > maxAbs {
+				maxAbs = v
+			}
+		}
+		if maxAbs == 0 {
+			maxAbs = 1
+		}
+		for r := 0; r < m.Rows; r++ {
+			out.Set(r, c, (m.At(r, c)-mean)/maxAbs)
+		}
+	}
+	return out
+}
+
+func clip(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// HoldoutMSE completes the matrix with the given entries removed and
+// returns the mean squared error on the removed entries. It is the scoring
+// primitive of the rank-estimation loop (§3.2).
+func HoldoutMSE(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, holdout [][2]int, opts Options) float64 {
+	work := mask.Clone()
+	for _, h := range holdout {
+		work.Unset(h[0], h[1])
+	}
+	completed := Complete(E, work, features, opts)
+	var se float64
+	cnt := 0
+	for _, h := range holdout {
+		d := completed.At(h[0], h[1]) - E.At(h[0], h[1])
+		se += d * d
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return se / float64(cnt)
+}
+
+// TuneResult is the outcome of a hyperparameter search.
+type TuneResult struct {
+	Lambda        float64
+	FeatureWeight float64
+	MSE           float64
+}
+
+// Tune grid-searches the regularizer and feature weight against a random
+// holdout of observed entries (Appx. D.4 / [56]).
+func Tune(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, rank int, rng *rand.Rand) TuneResult {
+	// Build a holdout of ~10% of observed entries.
+	var entries [][2]int
+	mask.Entries(func(i, j int) {
+		if i != j {
+			entries = append(entries, [2]int{i, j})
+		}
+	})
+	rng.Shuffle(len(entries), func(a, b int) { entries[a], entries[b] = entries[b], entries[a] })
+	h := len(entries) / 10
+	if h < 1 {
+		h = 1
+	}
+	holdout := entries[:h]
+
+	best := TuneResult{MSE: math.Inf(1)}
+	for _, lambda := range []float64{0.02, 0.08, 0.3} {
+		for _, fw := range []float64{0, 0.2, 0.5} {
+			opts := Options{Rank: rank, Lambda: lambda, FeatureWeight: fw, Iterations: 8, Seed: 1}
+			mse := HoldoutMSE(E, mask, features, holdout, opts)
+			if mse < best.MSE {
+				best = TuneResult{Lambda: lambda, FeatureWeight: fw, MSE: mse}
+			}
+		}
+	}
+	return best
+}

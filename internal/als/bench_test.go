@@ -1,0 +1,36 @@
+package als
+
+import (
+	"math/rand"
+	"testing"
+
+	"metascritic/internal/mat"
+)
+
+func benchProblem(n int, fill float64) (*mat.Matrix, *mat.Mask, *mat.Matrix) {
+	truth := lowRankMatrix(n, 8, 1)
+	rng := rand.New(rand.NewSource(2))
+	mask := maskFraction(n, fill, rng)
+	features := mat.New(n, 16)
+	for i := range features.Data {
+		features.Data[i] = rng.NormFloat64()
+	}
+	return truth, mask, features
+}
+
+func BenchmarkComplete(b *testing.B) {
+	for _, n := range []int{64, 128} {
+		name := "n64"
+		if n == 128 {
+			name = "n128"
+		}
+		b.Run(name, func(b *testing.B) {
+			E, mask, feat := benchProblem(n, 0.25)
+			opts := DefaultOptions(12)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Complete(E, mask, feat, opts)
+			}
+		})
+	}
+}

@@ -1,0 +1,375 @@
+// Package asgraph defines the AS-level entities metAScritic reasons about:
+// autonomous systems with the features the paper ingests (Appx. C/D.3),
+// their business relationships (customer-to-provider and peer-to-peer),
+// customer cones, and the geographic hierarchy of metros, countries and
+// continents, including IXPs and their route servers.
+package asgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Class is the business classification of an AS (Appx. D.3).
+type Class int
+
+// AS business classes, ordered roughly from core to edge.
+const (
+	Tier1 Class = iota
+	Hypergiant
+	LargeISP
+	Content
+	Enterprise
+	Transit
+	Stub
+	NumClasses
+)
+
+var classNames = [...]string{"Tier1", "Hypergiant", "LargeISP", "Content", "Enterprise", "Transit", "Stub"}
+
+func (c Class) String() string {
+	if c < 0 || int(c) >= len(classNames) {
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// PeeringPolicy mirrors the PeeringDB policy field.
+type PeeringPolicy int
+
+// Peering policies.
+const (
+	Open PeeringPolicy = iota
+	Selective
+	Restrictive
+	NumPolicies
+)
+
+var policyNames = [...]string{"Open", "Selective", "Restrictive"}
+
+func (p PeeringPolicy) String() string {
+	if p < 0 || int(p) >= len(policyNames) {
+		return fmt.Sprintf("PeeringPolicy(%d)", int(p))
+	}
+	return policyNames[p]
+}
+
+// TrafficProfile mirrors the PeeringDB traffic-ratio field.
+type TrafficProfile int
+
+// Traffic profiles from heavy inbound (eyeball) to heavy outbound (content).
+const (
+	HeavyInbound TrafficProfile = iota
+	MostlyInbound
+	Balanced
+	MostlyOutbound
+	HeavyOutbound
+	NumProfiles
+)
+
+var profileNames = [...]string{"HeavyInbound", "MostlyInbound", "Balanced", "MostlyOutbound", "HeavyOutbound"}
+
+func (t TrafficProfile) String() string {
+	if t < 0 || int(t) >= len(profileNames) {
+		return fmt.Sprintf("TrafficProfile(%d)", int(t))
+	}
+	return profileNames[t]
+}
+
+// AS is one autonomous system with the publicly-observable features the
+// recommender uses (Fig. 1, Appx. C).
+type AS struct {
+	Index   int // position in Graph.ASes
+	ASN     int
+	Class   Class
+	Policy  PeeringPolicy
+	Traffic TrafficProfile
+	// Eyeballs is the estimated user population (APNIC-style).
+	Eyeballs int
+	// AddrSpace is the number of announced addresses (rough size proxy).
+	AddrSpace int
+	Country   int // index into Graph.Countries
+	// Metros lists the metro indices where the AS has physical presence
+	// (its iGDB-style footprint).
+	Metros []int
+	// IXPs lists the IXP indices the AS is a member of.
+	IXPs []int
+	// RouteServer marks, per IXP index, membership in that IXP's route
+	// server (multilateral peering).
+	RouteServer map[int]bool
+	// ConsistentRouting reports whether the AS uses the same
+	// interconnection type toward a given AS everywhere (§3.4). CDNs,
+	// cloud providers and large transits are typically inconsistent.
+	ConsistentRouting bool
+}
+
+// HasMetro reports whether the AS has presence in metro m.
+func (a *AS) HasMetro(m int) bool {
+	for _, mm := range a.Metros {
+		if mm == m {
+			return true
+		}
+	}
+	return false
+}
+
+// Country is a country with its continent.
+type Country struct {
+	Code      string
+	Continent int
+}
+
+// Metro is a metropolitan interconnection area.
+type Metro struct {
+	Index   int
+	Name    string
+	Country int // index into Graph.Countries
+	IXPs    []int
+	// Members caches the indices of ASes present in the metro, sorted.
+	Members []int
+}
+
+// IXP is an Internet exchange point located in one metro.
+type IXP struct {
+	Index   int
+	Name    string
+	Metro   int
+	Members []int // AS indices
+	// HasRouteServer reports whether the IXP operates a route server.
+	HasRouteServer bool
+}
+
+// Rel is a business relationship type on an AS-level link.
+type Rel int8
+
+// Relationship kinds.
+const (
+	C2P Rel = iota // first AS is a customer of the second
+	P2P            // settlement-free peering
+)
+
+// Graph holds the AS-level structure: ASes, geography, the transit (c2p)
+// hierarchy and AS-level peering adjacency. Per-metro peering ground truth
+// lives in netsim (it is matrix-shaped); the Graph's Peers adjacency is the
+// union over metros, which is what BGP propagation operates on.
+type Graph struct {
+	ASes       []*AS
+	Countries  []Country
+	Continents []string
+	Metros     []*Metro
+	IXPs       []*IXP
+
+	// Providers[i] lists the provider AS indices of AS i; Customers is the
+	// reverse adjacency. Peers[i] lists AS-level peers of i.
+	Providers [][]int
+	Customers [][]int
+	Peers     [][]int
+
+	cones [][]int // lazily computed customer cones
+}
+
+// NewGraph returns an empty graph ready for ASes to be added.
+func NewGraph() *Graph {
+	return &Graph{}
+}
+
+// AddAS appends a to the graph, assigning its Index, and grows the
+// adjacency slices. It returns the new index.
+func (g *Graph) AddAS(a *AS) int {
+	a.Index = len(g.ASes)
+	g.ASes = append(g.ASes, a)
+	g.Providers = append(g.Providers, nil)
+	g.Customers = append(g.Customers, nil)
+	g.Peers = append(g.Peers, nil)
+	g.cones = nil
+	return a.Index
+}
+
+// AddC2P records that customer buys transit from provider.
+func (g *Graph) AddC2P(customer, provider int) {
+	if customer == provider {
+		panic("asgraph: self transit link")
+	}
+	if hasInt(g.Providers[customer], provider) {
+		return
+	}
+	g.Providers[customer] = append(g.Providers[customer], provider)
+	g.Customers[provider] = append(g.Customers[provider], customer)
+	g.cones = nil
+}
+
+// AddPeer records an AS-level peering between a and b (idempotent).
+func (g *Graph) AddPeer(a, b int) {
+	if a == b {
+		panic("asgraph: self peering")
+	}
+	if hasInt(g.Peers[a], b) {
+		return
+	}
+	g.Peers[a] = append(g.Peers[a], b)
+	g.Peers[b] = append(g.Peers[b], a)
+}
+
+// HasPeer reports whether a and b peer at the AS level.
+func (g *Graph) HasPeer(a, b int) bool { return hasInt(g.Peers[a], b) }
+
+// HasProvider reports whether p is a provider of c.
+func (g *Graph) HasProvider(c, p int) bool { return hasInt(g.Providers[c], p) }
+
+// N returns the number of ASes.
+func (g *Graph) N() int { return len(g.ASes) }
+
+// CustomerCone returns the customer cone of AS i: the set of AS indices
+// reachable by repeatedly following provider→customer links, including i
+// itself. The result is sorted and cached.
+func (g *Graph) CustomerCone(i int) []int {
+	if g.cones == nil {
+		g.cones = make([][]int, g.N())
+	}
+	if g.cones[i] != nil {
+		return g.cones[i]
+	}
+	seen := map[int]bool{i: true}
+	stack := []int{i}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range g.Customers[x] {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	cone := make([]int, 0, len(seen))
+	for x := range seen {
+		cone = append(cone, x)
+	}
+	sort.Ints(cone)
+	g.cones[i] = cone
+	return cone
+}
+
+// ConeSize returns len(CustomerCone(i)).
+func (g *Graph) ConeSize(i int) int { return len(g.CustomerCone(i)) }
+
+// InCone reports whether x is in the customer cone of i.
+func (g *Graph) InCone(x, i int) bool {
+	cone := g.CustomerCone(i)
+	k := sort.SearchInts(cone, x)
+	return k < len(cone) && cone[k] == x
+}
+
+// GeoScope categorizes how geographically close something is to a metro:
+// same metro, same country, same continent, or elsewhere. It is the
+// four-way split used both for measurement strategies (§3.3.2) and for the
+// transferability weights (§3.4).
+type GeoScope int
+
+// Geographic scopes from closest to farthest.
+const (
+	SameMetro GeoScope = iota
+	SameCountry
+	SameContinent
+	Elsewhere
+	NumGeoScopes
+)
+
+var scopeNames = [...]string{"SameMetro", "SameCountry", "SameContinent", "Elsewhere"}
+
+func (s GeoScope) String() string {
+	if s < 0 || int(s) >= len(scopeNames) {
+		return fmt.Sprintf("GeoScope(%d)", int(s))
+	}
+	return scopeNames[s]
+}
+
+// ScopeOfMetros returns the geographic scope of metro b relative to metro a.
+func (g *Graph) ScopeOfMetros(a, b int) GeoScope {
+	if a == b {
+		return SameMetro
+	}
+	ma, mb := g.Metros[a], g.Metros[b]
+	if ma.Country == mb.Country {
+		return SameCountry
+	}
+	if g.Countries[ma.Country].Continent == g.Countries[mb.Country].Continent {
+		return SameContinent
+	}
+	return Elsewhere
+}
+
+// ScopeOfASToMetro returns the closest geographic scope between any metro in
+// the footprint of AS i and metro m.
+func (g *Graph) ScopeOfASToMetro(i, m int) GeoScope {
+	best := Elsewhere
+	for _, mm := range g.ASes[i].Metros {
+		if s := g.ScopeOfMetros(mm, m); s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// MetroOfName returns the metro with the given name, or nil.
+func (g *Graph) MetroOfName(name string) *Metro {
+	for _, m := range g.Metros {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// SharedMetros returns the sorted metro indices where both ASes have
+// presence.
+func (g *Graph) SharedMetros(a, b int) []int {
+	set := map[int]bool{}
+	for _, m := range g.ASes[a].Metros {
+		set[m] = true
+	}
+	var out []int
+	for _, m := range g.ASes[b].Metros {
+		if set[m] {
+			out = append(out, m)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SharedIXPs returns the sorted IXP indices both ASes are members of.
+func (g *Graph) SharedIXPs(a, b int) []int {
+	set := map[int]bool{}
+	for _, x := range g.ASes[a].IXPs {
+		set[x] = true
+	}
+	var out []int
+	for _, x := range g.ASes[b].IXPs {
+		if set[x] {
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Pair is a canonical (A < B) AS-index pair, used as a map key for links.
+type Pair struct{ A, B int }
+
+// MakePair canonicalizes an AS pair.
+func MakePair(a, b int) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{a, b}
+}
+
+func hasInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

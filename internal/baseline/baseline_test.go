@@ -1,0 +1,283 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"metascritic/internal/asgraph"
+	"metascritic/internal/mat"
+	"metascritic/internal/probe"
+	"metascritic/internal/stats"
+)
+
+// selGraph builds a small graph with IXP membership for picker tests.
+func selGraph() (*asgraph.Graph, *probe.Selector) {
+	g := asgraph.NewGraph()
+	g.Continents = []string{"EU"}
+	g.Countries = []asgraph.Country{{Code: "NL", Continent: 0}}
+	g.Metros = []*asgraph.Metro{{Index: 0, Name: "Amsterdam", Country: 0}}
+	g.IXPs = []*asgraph.IXP{{Index: 0, Name: "IX", Metro: 0}}
+	for i := 0; i < 6; i++ {
+		g.AddAS(&asgraph.AS{ASN: 100 + i, Metros: []int{0}})
+	}
+	for i := 1; i < 6; i++ {
+		g.AddC2P(i, 0)
+	}
+	// ASes 1 and 2 are on the IXP.
+	g.ASes[1].IXPs = []int{0}
+	g.ASes[2].IXPs = []int{0}
+	g.IXPs[0].Members = []int{1, 2}
+	members := []int{1, 2, 3, 4, 5}
+	vps := []probe.VP{{AS: 1, Metro: 0}, {AS: 3, Metro: 0}, {AS: 0, Metro: 0}}
+	sel := probe.NewSelector(g, 0, members, vps, []int{1, 2, 3, 4, 5})
+	return g, sel
+}
+
+func freshState(n int) State {
+	return State{N: n, Fill: make([]int, n), Has: func(i, j int) bool { return false }}
+}
+
+func TestPickersProduceValidMeasurements(t *testing.T) {
+	_, sel := selGraph()
+	rng := rand.New(rand.NewSource(1))
+	pickers := []Picker{Random{}, OnlyExploration{}, OnlyExploitation{}, Greedy{}, IXPMapped{}}
+	for _, p := range pickers {
+		batch := p.NextBatch(sel, freshState(5), 4, rng)
+		if len(batch) == 0 {
+			t.Fatalf("%s produced no measurements", p.Name())
+		}
+		for _, m := range batch {
+			if m.LinkI == m.LinkJ {
+				t.Fatalf("%s proposed a self measurement", p.Name())
+			}
+			if _, ok := sel.Index[m.LinkI]; !ok {
+				t.Fatalf("%s proposed non-member link %d", p.Name(), m.LinkI)
+			}
+		}
+		if p.Name() == "" {
+			t.Fatalf("empty picker name")
+		}
+	}
+}
+
+func TestPickersSkipObservedEntries(t *testing.T) {
+	_, sel := selGraph()
+	rng := rand.New(rand.NewSource(2))
+	st := freshState(5)
+	st.Has = func(i, j int) bool { return i == 0 || j == 0 } // row 0 fully observed
+	for _, p := range []Picker{Random{}, OnlyExploration{}, Greedy{}, IXPMapped{}} {
+		for _, m := range p.NextBatch(sel, st, 6, rng) {
+			i, j := sel.Index[m.LinkI], sel.Index[m.LinkJ]
+			if i == 0 || j == 0 {
+				t.Fatalf("%s proposed an observed entry", p.Name())
+			}
+		}
+	}
+}
+
+func TestOnlyExplorationPrefersEmptyRows(t *testing.T) {
+	_, sel := selGraph()
+	rng := rand.New(rand.NewSource(3))
+	st := freshState(5)
+	st.Fill = []int{9, 9, 9, 0, 0} // rows 3,4 empty
+	batch := OnlyExploration{}.NextBatch(sel, st, 1, rng)
+	if len(batch) != 1 {
+		t.Fatalf("batch len %d", len(batch))
+	}
+	m := batch[0]
+	i, j := sel.Index[m.LinkI], sel.Index[m.LinkJ]
+	if i+j != 7 { // rows 3 and 4
+		t.Fatalf("exploration picked rows %d,%d", i, j)
+	}
+}
+
+func TestIXPMappedPrioritizesIXPPairs(t *testing.T) {
+	_, sel := selGraph()
+	rng := rand.New(rand.NewSource(4))
+	batch := IXPMapped{}.NextBatch(sel, freshState(5), 1, rng)
+	if len(batch) != 1 {
+		t.Fatalf("batch len %d", len(batch))
+	}
+	m := batch[0]
+	// The only co-IXP pair among members is (1, 2).
+	if !(m.LinkI == 1 && m.LinkJ == 2 || m.LinkI == 2 && m.LinkJ == 1) {
+		t.Fatalf("IXP-mapped first pick %d-%d, want 1-2", m.LinkI, m.LinkJ)
+	}
+}
+
+func TestGreedyOrdersByProbability(t *testing.T) {
+	_, sel := selGraph()
+	rng := rand.New(rand.NewSource(5))
+	batch := Greedy{}.NextBatch(sel, freshState(5), 10, rng)
+	for k := 1; k < len(batch); k++ {
+		if batch[k].P > batch[k-1].P+1e-9 {
+			t.Fatalf("greedy batch not sorted by P")
+		}
+	}
+}
+
+// --- Random forest ---
+
+func syntheticClassification(n int, rng *rand.Rand) ([][]float64, []bool) {
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		// Label depends on x0 and x1 interaction; x2 is noise.
+		y[i] = X[i][0]+0.5*X[i][1] > 0
+	}
+	return X, y
+}
+
+func TestForestLearnsSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	X, y := syntheticClassification(600, rng)
+	f := TrainForest(X, y, DefaultForestConfig())
+	Xt, yt := syntheticClassification(300, rng)
+	scores := make([]float64, len(Xt))
+	for i := range Xt {
+		scores[i] = f.PredictProba(Xt[i])
+	}
+	if auc := stats.AUC(scores, yt); auc < 0.9 {
+		t.Fatalf("forest AUC = %.3f, want >= 0.9", auc)
+	}
+}
+
+func TestForestProbBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	X, y := syntheticClassification(200, rng)
+	f := TrainForest(X, y, ForestConfig{Trees: 5, MaxDepth: 3, MinLeaf: 2, Seed: 2})
+	for i := range X {
+		p := f.PredictProba(X[i])
+		if p < 0 || p > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+	}
+}
+
+func TestForestEmptyTraining(t *testing.T) {
+	f := TrainForest(nil, nil, DefaultForestConfig())
+	if p := f.PredictProba([]float64{1, 2, 3}); p != 0.5 {
+		t.Fatalf("empty forest prob = %v, want 0.5", p)
+	}
+}
+
+func TestForestPureLabels(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []bool{true, true, true}
+	f := TrainForest(X, y, ForestConfig{Trees: 3, MaxDepth: 4, MinLeaf: 1, Seed: 1})
+	if p := f.PredictProba([]float64{2}); p != 1 {
+		t.Fatalf("pure-positive forest prob = %v", p)
+	}
+}
+
+// --- NCF ---
+
+func TestNCFLearnsBlockStructure(t *testing.T) {
+	// Two AS communities: intra-community rating +1, inter -1.
+	n := 24
+	E := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if (i%2 == 0) == (j%2 == 0) {
+				E.Set(i, j, 1)
+			} else {
+				E.Set(i, j, -1)
+			}
+		}
+	}
+	mask := mat.NewMask(n)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.6 {
+				mask.Set(i, j)
+			}
+		}
+	}
+	m := TrainNCF(E, mask, nil, DefaultNCFConfig())
+	// Score unobserved entries.
+	var scores []float64
+	var labels []bool
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if mask.Has(i, j) {
+				continue
+			}
+			scores = append(scores, m.Predict(i, j))
+			labels = append(labels, E.At(i, j) > 0)
+		}
+	}
+	if auc := stats.AUC(scores, labels); auc < 0.85 {
+		t.Fatalf("NCF AUC = %.3f, want >= 0.85", auc)
+	}
+}
+
+func TestNCFPredictBoundsAndSymmetry(t *testing.T) {
+	n := 10
+	E := mat.New(n, n)
+	mask := mat.NewMask(n)
+	mask.Set(0, 1)
+	E.Set(0, 1, 1)
+	E.Set(1, 0, 1)
+	m := TrainNCF(E, mask, nil, NCFConfig{EmbedDim: 4, HiddenDim: 8, Epochs: 5, LearnRate: 0.05, Seed: 3})
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := m.Predict(i, j)
+			if v < -1 || v > 1 {
+				t.Fatalf("prediction out of range: %v", v)
+			}
+			if diff := math.Abs(v - m.Predict(j, i)); diff > 1e-12 {
+				t.Fatalf("prediction not symmetric: %v", diff)
+			}
+		}
+	}
+}
+
+func TestNCFWithFeatures(t *testing.T) {
+	// Ratings determined solely by a feature: NCF must exploit it for
+	// rows with no observations.
+	n := 30
+	E := mat.New(n, n)
+	feat := mat.New(n, 1)
+	for i := 0; i < n; i++ {
+		feat.Set(i, 0, float64(i%2)*2-1)
+		for j := 0; j < n; j++ {
+			if i != j && i%2 == 1 && j%2 == 1 {
+				E.Set(i, j, 1)
+			} else if i != j {
+				E.Set(i, j, -1)
+			}
+		}
+	}
+	mask := mat.NewMask(n)
+	rng := rand.New(rand.NewSource(9))
+	for i := 2; i < n; i++ { // rows 0,1 cold
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.7 {
+				mask.Set(i, j)
+			}
+		}
+	}
+	cfg := DefaultNCFConfig()
+	cfg.Epochs = 80
+	m := TrainNCF(E, mask, feat, cfg)
+	// Cold row 1 (odd) should score higher with odd js than row 0 (even).
+	sOdd := m.Predict(1, 5)
+	sEven := m.Predict(0, 5)
+	if sOdd <= sEven {
+		t.Fatalf("feature signal unused: odd=%v even=%v", sOdd, sEven)
+	}
+}
+
+func TestNCFEmptyMask(t *testing.T) {
+	E := mat.New(5, 5)
+	m := TrainNCF(E, mat.NewMask(5), nil, DefaultNCFConfig())
+	if v := m.Predict(0, 1); v < -1 || v > 1 {
+		t.Fatalf("untrained prediction out of range")
+	}
+}

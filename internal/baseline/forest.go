@@ -1,0 +1,167 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ForestConfig tunes the random forest of Appx. E.2.
+type ForestConfig struct {
+	Trees    int
+	MaxDepth int
+	MinLeaf  int
+	// FeatureFrac is the fraction of features considered per split
+	// (default: sqrt heuristic).
+	FeatureFrac float64
+	Seed        int64
+}
+
+// DefaultForestConfig returns reasonable defaults.
+func DefaultForestConfig() ForestConfig {
+	return ForestConfig{Trees: 40, MaxDepth: 10, MinLeaf: 4, Seed: 1}
+}
+
+// Forest is a bagged ensemble of CART trees predicting P(link).
+type Forest struct {
+	trees []*node
+}
+
+type node struct {
+	feature     int
+	threshold   float64
+	left, right *node
+	prob        float64 // leaf value
+}
+
+func (n *node) leaf() bool { return n.left == nil }
+
+// TrainForest fits a random forest on feature vectors X and labels y.
+func TrainForest(X [][]float64, y []bool, cfg ForestConfig) *Forest {
+	if cfg.Trees < 1 {
+		cfg.Trees = 1
+	}
+	if cfg.MaxDepth < 1 {
+		cfg.MaxDepth = 1
+	}
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Forest{}
+	if len(X) == 0 {
+		f.trees = []*node{{prob: 0.5}}
+		return f
+	}
+	d := len(X[0])
+	mtry := int(cfg.FeatureFrac * float64(d))
+	if cfg.FeatureFrac == 0 {
+		mtry = int(math.Ceil(math.Sqrt(float64(d))))
+	}
+	if mtry < 1 {
+		mtry = 1
+	}
+	for t := 0; t < cfg.Trees; t++ {
+		// Bootstrap sample.
+		idx := make([]int, len(X))
+		for i := range idx {
+			idx[i] = rng.Intn(len(X))
+		}
+		f.trees = append(f.trees, growTree(X, y, idx, cfg.MaxDepth, cfg.MinLeaf, mtry, rng))
+	}
+	return f
+}
+
+func growTree(X [][]float64, y []bool, idx []int, depth, minLeaf, mtry int, rng *rand.Rand) *node {
+	pos := 0
+	for _, i := range idx {
+		if y[i] {
+			pos++
+		}
+	}
+	prob := float64(pos) / float64(len(idx))
+	if depth == 0 || len(idx) < 2*minLeaf || pos == 0 || pos == len(idx) {
+		return &node{prob: prob}
+	}
+	d := len(X[0])
+	feats := rng.Perm(d)[:mtry]
+	bestGain := 0.0
+	bestFeat := -1
+	bestThr := 0.0
+	base := gini(pos, len(idx))
+	vals := make([]float64, 0, len(idx))
+	for _, feat := range feats {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, X[i][feat])
+		}
+		sort.Float64s(vals)
+		// Candidate thresholds at a handful of quantiles.
+		for _, q := range []float64{0.25, 0.5, 0.75} {
+			thr := vals[int(q*float64(len(vals)-1))]
+			lp, ln, rp, rn := 0, 0, 0, 0
+			for _, i := range idx {
+				if X[i][feat] <= thr {
+					ln++
+					if y[i] {
+						lp++
+					}
+				} else {
+					rn++
+					if y[i] {
+						rp++
+					}
+				}
+			}
+			if ln < minLeaf || rn < minLeaf {
+				continue
+			}
+			g := base - (float64(ln)*gini(lp, ln)+float64(rn)*gini(rp, rn))/float64(len(idx))
+			if g > bestGain {
+				bestGain, bestFeat, bestThr = g, feat, thr
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &node{prob: prob}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	return &node{
+		feature:   bestFeat,
+		threshold: bestThr,
+		left:      growTree(X, y, li, depth-1, minLeaf, mtry, rng),
+		right:     growTree(X, y, ri, depth-1, minLeaf, mtry, rng),
+	}
+}
+
+func gini(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// PredictProba returns the forest's estimated probability that x is a link.
+func (f *Forest) PredictProba(x []float64) float64 {
+	var sum float64
+	for _, t := range f.trees {
+		n := t
+		for !n.leaf() {
+			if x[n.feature] <= n.threshold {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		sum += n.prob
+	}
+	return sum / float64(len(f.trees))
+}

@@ -1,0 +1,205 @@
+// Package baseline implements everything metAScritic is compared against:
+// the alternative traceroute-selection strategies of Table 2 / Fig. 11
+// (Random, Only-Exploration, Only-Exploitation, Greedy, and the IXP-mapped
+// technique of Augustin et al.), plus the alternative classifiers of
+// Appx. E.2 (a Random Forest over pair features and a Neural Collaborative
+// Filtering model). Once a baseline picks an entry to measure, it reuses
+// metAScritic's source and target ranking, exactly as the paper's
+// comparison does.
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+
+	"metascritic/internal/probe"
+)
+
+// State is the measurement-selection view of the estimate: per-row fill
+// counts and an observed-entry test over member-row indices.
+type State struct {
+	N    int
+	Fill []int
+	Has  func(i, j int) bool
+}
+
+// Picker selects the entries a strategy wants measured next.
+type Picker interface {
+	Name() string
+	// NextBatch proposes up to size measurements.
+	NextBatch(sel *probe.Selector, st State, size int, rng *rand.Rand) []probe.Measurement
+}
+
+// measurementFor asks the selector machinery for the best concrete
+// traceroute for entry (i, j), trying both orientations.
+func measurementFor(sel *probe.Selector, i, j int, rng *rand.Rand) *probe.Measurement {
+	if _, m := sel.EntryProb(i, j, rng); m != nil {
+		return m
+	}
+	_, m := sel.EntryProb(j, i, rng)
+	return m
+}
+
+// Random picks unfilled entries uniformly at random.
+type Random struct{}
+
+// Name implements Picker.
+func (Random) Name() string { return "Random" }
+
+// NextBatch implements Picker.
+func (Random) NextBatch(sel *probe.Selector, st State, size int, rng *rand.Rand) []probe.Measurement {
+	var cands [][2]int
+	for i := 0; i < st.N; i++ {
+		for j := i + 1; j < st.N; j++ {
+			if !st.Has(i, j) {
+				cands = append(cands, [2]int{i, j})
+			}
+		}
+	}
+	rng.Shuffle(len(cands), func(a, b int) { cands[a], cands[b] = cands[b], cands[a] })
+	var out []probe.Measurement
+	for _, c := range cands {
+		if len(out) >= size {
+			break
+		}
+		if m := measurementFor(sel, c[0], c[1], rng); m != nil {
+			out = append(out, *m)
+		}
+	}
+	return out
+}
+
+// OnlyExploration always targets the pair with the fewest combined filled
+// entries, ignoring the success probabilities in P_m.
+type OnlyExploration struct{}
+
+// Name implements Picker.
+func (OnlyExploration) Name() string { return "Only Exploration" }
+
+// NextBatch implements Picker.
+func (OnlyExploration) NextBatch(sel *probe.Selector, st State, size int, rng *rand.Rand) []probe.Measurement {
+	type cand struct{ i, j, sum int }
+	var cands []cand
+	for i := 0; i < st.N; i++ {
+		for j := i + 1; j < st.N; j++ {
+			if !st.Has(i, j) {
+				cands = append(cands, cand{i, j, st.Fill[i] + st.Fill[j]})
+			}
+		}
+	}
+	rng.Shuffle(len(cands), func(a, b int) { cands[a], cands[b] = cands[b], cands[a] })
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].sum < cands[b].sum })
+	fill := append([]int(nil), st.Fill...)
+	var out []probe.Measurement
+	for _, c := range cands {
+		if len(out) >= size {
+			break
+		}
+		if m := measurementFor(sel, c.i, c.j, rng); m != nil {
+			out = append(out, *m)
+			fill[c.i]++
+			fill[c.j]++
+		}
+	}
+	return out
+}
+
+// OnlyExploitation is metAScritic's batch selection with ε = 0.
+type OnlyExploitation struct{}
+
+// Name implements Picker.
+func (OnlyExploitation) Name() string { return "Only Exploitation" }
+
+// NextBatch implements Picker.
+func (OnlyExploitation) NextBatch(sel *probe.Selector, st State, size int, rng *rand.Rand) []probe.Measurement {
+	need := make([]int, st.N)
+	for i := range need {
+		need[i] = st.N // unconstrained: always wants more
+	}
+	return sel.SelectBatch(size, 0, st.Fill, need, st.Has, rng)
+}
+
+// Greedy measures the globally most promising entries first (highest P),
+// regardless of row balance.
+type Greedy struct{}
+
+// Name implements Picker.
+func (Greedy) Name() string { return "Greedy" }
+
+// NextBatch implements Picker.
+func (Greedy) NextBatch(sel *probe.Selector, st State, size int, rng *rand.Rand) []probe.Measurement {
+	type cand struct {
+		p float64
+		m probe.Measurement
+	}
+	var cands []cand
+	for i := 0; i < st.N; i++ {
+		for j := i + 1; j < st.N; j++ {
+			if st.Has(i, j) {
+				continue
+			}
+			if p, m := sel.EntryProb(i, j, rng); m != nil {
+				cands = append(cands, cand{p, *m})
+			}
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].p > cands[b].p })
+	if len(cands) > size {
+		cands = cands[:size]
+	}
+	out := make([]probe.Measurement, len(cands))
+	for k, c := range cands {
+		out[k] = c.m
+	}
+	return out
+}
+
+// IXPMapped reimplements the entry ordering of Augustin et al.'s IXP
+// mapping: prioritize pairs that are co-members of an IXP at the metro
+// (the links an IXP crawl would target), then everything else.
+type IXPMapped struct{}
+
+// Name implements Picker.
+func (IXPMapped) Name() string { return "IXP-mapped" }
+
+// NextBatch implements Picker.
+func (IXPMapped) NextBatch(sel *probe.Selector, st State, size int, rng *rand.Rand) []probe.Measurement {
+	g := sel.G
+	onIXP := func(asIdx int) bool {
+		for _, ix := range g.ASes[asIdx].IXPs {
+			if g.IXPs[ix].Metro == sel.Metro {
+				return true
+			}
+		}
+		return false
+	}
+	member := make([]bool, st.N)
+	for i := 0; i < st.N; i++ {
+		member[i] = onIXP(sel.Members[i])
+	}
+	var first, second [][2]int
+	for i := 0; i < st.N; i++ {
+		for j := i + 1; j < st.N; j++ {
+			if st.Has(i, j) {
+				continue
+			}
+			if member[i] && member[j] {
+				first = append(first, [2]int{i, j})
+			} else {
+				second = append(second, [2]int{i, j})
+			}
+		}
+	}
+	rng.Shuffle(len(first), func(a, b int) { first[a], first[b] = first[b], first[a] })
+	rng.Shuffle(len(second), func(a, b int) { second[a], second[b] = second[b], second[a] })
+	var out []probe.Measurement
+	for _, c := range append(first, second...) {
+		if len(out) >= size {
+			break
+		}
+		if m := measurementFor(sel, c[0], c[1], rng); m != nil {
+			out = append(out, *m)
+		}
+	}
+	return out
+}

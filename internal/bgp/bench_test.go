@@ -1,0 +1,40 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTopology(n int) *Topology {
+	rng := rand.New(rand.NewSource(1))
+	return randomTopology(rng, n)
+}
+
+func BenchmarkPropagate(b *testing.B) {
+	top := benchTopology(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top.PropagateFrom(i % 1500)
+	}
+}
+
+func BenchmarkSimulateHijack(b *testing.B) {
+	top := benchTopology(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top.SimulateHijack([]int{i % 1500, (i + 7) % 1500}, []int{(i + 100) % 1500})
+	}
+}
+
+func BenchmarkVisibleLinks(b *testing.B) {
+	top := benchTopology(600)
+	monitors := []int{0, 1, 2, 3, 4}
+	dests := make([]int, 100)
+	for i := range dests {
+		dests[i] = i * 6 % 600
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VisibleLinks(NewRouteCache(top), monitors, dests)
+	}
+}

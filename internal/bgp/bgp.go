@@ -1,0 +1,504 @@
+// Package bgp implements Gao-Rexford interdomain route propagation over an
+// AS-level topology, the routing substrate the paper uses everywhere: to
+// simulate traceroutes, to model the public BGP view of collectors, to
+// predict the impact of prefix hijacks (§6, Fig. 7), and to compute the
+// flattening metrics of Table 3.
+//
+// The model follows the standard Gao-Rexford conditions [58]:
+//
+//   - route preference: customer routes > peer routes > provider routes,
+//     then shortest AS-path, then lowest next-hop index (deterministic
+//     tie-break);
+//   - export: customer routes (and own prefixes) are exported to everyone;
+//     peer and provider routes are exported only to customers (valley-free
+//     routing).
+//
+// Propagation supports several simultaneous origins for the same prefix,
+// tracking per-AS which origins are reachable over routes tied for best —
+// the paper "propagates all paths that are tied for best according to the
+// Gao-Rexford model".
+package bgp
+
+import (
+	"container/heap"
+	"math"
+
+	"metascritic/internal/asgraph"
+)
+
+// Topology is the AS-level routing substrate: a transit hierarchy plus a
+// peering mesh. Build one with NewTopology/AddC2P/AddP2P or FromGraph.
+type Topology struct {
+	n         int
+	providers [][]int32 // providers[a] = ASes a buys transit from
+	customers [][]int32 // reverse of providers
+	peers     [][]int32
+}
+
+// NewTopology returns an empty topology over n ASes.
+func NewTopology(n int) *Topology {
+	return &Topology{
+		n:         n,
+		providers: make([][]int32, n),
+		customers: make([][]int32, n),
+		peers:     make([][]int32, n),
+	}
+}
+
+// FromGraph copies the adjacency of an asgraph.Graph.
+func FromGraph(g *asgraph.Graph) *Topology {
+	t := NewTopology(g.N())
+	for c := range g.Providers {
+		for _, p := range g.Providers[c] {
+			t.AddC2P(c, p)
+		}
+	}
+	for a := range g.Peers {
+		for _, b := range g.Peers[a] {
+			if a < b {
+				t.AddP2P(a, b)
+			}
+		}
+	}
+	return t
+}
+
+// N returns the number of ASes.
+func (t *Topology) N() int { return t.n }
+
+// AddC2P records that customer buys transit from provider.
+func (t *Topology) AddC2P(customer, provider int) {
+	t.providers[customer] = append(t.providers[customer], int32(provider))
+	t.customers[provider] = append(t.customers[provider], int32(customer))
+}
+
+// AddP2P records a settlement-free peering between a and b.
+func (t *Topology) AddP2P(a, b int) {
+	t.peers[a] = append(t.peers[a], int32(b))
+	t.peers[b] = append(t.peers[b], int32(a))
+}
+
+// Clone returns a deep copy that can be extended independently (used to
+// derive the +measured and +inferred prediction topologies).
+func (t *Topology) Clone() *Topology {
+	c := NewTopology(t.n)
+	for i := 0; i < t.n; i++ {
+		c.providers[i] = append([]int32(nil), t.providers[i]...)
+		c.customers[i] = append([]int32(nil), t.customers[i]...)
+		c.peers[i] = append([]int32(nil), t.peers[i]...)
+	}
+	return c
+}
+
+// NumP2P returns the number of distinct peering links.
+func (t *Topology) NumP2P() int {
+	total := 0
+	for _, ps := range t.peers {
+		total += len(ps)
+	}
+	return total / 2
+}
+
+// RouteClass orders routes by Gao-Rexford preference.
+type RouteClass int8
+
+// Route classes, from most to least preferred.
+const (
+	ClassNone RouteClass = iota // no route
+	ClassProvider
+	ClassPeer
+	ClassCustomer
+	ClassOwn // the AS originates the prefix
+)
+
+func (c RouteClass) String() string {
+	switch c {
+	case ClassOwn:
+		return "own"
+	case ClassCustomer:
+		return "customer"
+	case ClassPeer:
+		return "peer"
+	case ClassProvider:
+		return "provider"
+	default:
+		return "none"
+	}
+}
+
+// Route is the selected best route of one AS toward the propagated prefix.
+type Route struct {
+	Class   RouteClass
+	Len     int32 // AS-path length in hops (0 at the origin)
+	NextHop int32 // neighbor the route was learned from; -1 at the origin
+	Flags   uint8 // union of origin flags over all routes tied for best
+}
+
+// Reachable reports whether the AS has any route.
+func (r Route) Reachable() bool { return r.Class != ClassNone }
+
+// Origin is one announcement source: the prefix is originated at AS with
+// the given flag bit(s) set.
+type Origin struct {
+	AS   int
+	Flag uint8
+}
+
+const unreached = int32(math.MaxInt32)
+
+// Propagate computes every AS's best route toward a prefix announced by
+// the given origins, under Gao-Rexford preferences and valley-free export.
+func (t *Topology) Propagate(origins []Origin) []Route {
+	n := t.n
+	custDist := fill32(n, unreached)
+	custFlags := make([]uint8, n)
+	custHop := fill32(n, -1)
+
+	// Phase 1: customer routes — BFS from the origins over customer →
+	// provider edges. Distances first.
+	queue := make([]int32, 0, n)
+	for _, o := range origins {
+		if custDist[o.AS] != 0 {
+			custDist[o.AS] = 0
+			queue = append(queue, int32(o.AS))
+		}
+		custFlags[o.AS] |= o.Flag
+	}
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		for _, p := range t.providers[x] {
+			if custDist[p] == unreached {
+				custDist[p] = custDist[x] + 1
+				queue = append(queue, p)
+			}
+		}
+	}
+	// Flags and next hops in increasing-distance order (queue is ordered
+	// by BFS level).
+	for _, x := range queue {
+		if custDist[x] == 0 {
+			continue
+		}
+		best := int32(-1)
+		for _, c := range t.customers[x] {
+			if custDist[c] == custDist[x]-1 {
+				custFlags[x] |= custFlags[c]
+				if best == -1 || c < best {
+					best = c
+				}
+			}
+		}
+		custHop[x] = best
+	}
+
+	// Phase 2: peer routes — one peer hop onto a customer route (or the
+	// origin itself).
+	peerDist := fill32(n, unreached)
+	peerFlags := make([]uint8, n)
+	peerHop := fill32(n, -1)
+	for a := 0; a < n; a++ {
+		for _, b := range t.peers[a] {
+			if custDist[b] == unreached {
+				continue
+			}
+			d := custDist[b] + 1
+			switch {
+			case d < peerDist[a]:
+				peerDist[a] = d
+				peerFlags[a] = custFlags[b]
+				peerHop[a] = b
+			case d == peerDist[a]:
+				peerFlags[a] |= custFlags[b]
+				if b < peerHop[a] {
+					peerHop[a] = b
+				}
+			}
+		}
+	}
+
+	// Phase 3: provider routes — Dijkstra over provider → customer edges.
+	// An AS with a customer or peer route exports that selection to its
+	// customers; ASes without either depend on their providers' provider
+	// routes, hence the priority queue.
+	provDist := fill32(n, unreached)
+	provFlags := make([]uint8, n)
+	provHop := fill32(n, -1)
+	pq := &nodeHeap{}
+	exportLen := func(q int32) int32 {
+		if custDist[q] != unreached {
+			return custDist[q]
+		}
+		if peerDist[q] != unreached {
+			return peerDist[q]
+		}
+		return provDist[q]
+	}
+	for q := int32(0); q < int32(n); q++ {
+		if custDist[q] != unreached || peerDist[q] != unreached {
+			heap.Push(pq, node{q, exportLen(q)})
+		}
+	}
+	settled := make([]bool, n)
+	for pq.Len() > 0 {
+		nd := heap.Pop(pq).(node)
+		q := nd.id
+		if settled[q] || exportLen(q) != nd.dist {
+			continue
+		}
+		settled[q] = true
+		for _, c := range t.customers[q] {
+			cand := nd.dist + 1
+			if cand < provDist[c] {
+				provDist[c] = cand
+				if custDist[c] == unreached && peerDist[c] == unreached {
+					heap.Push(pq, node{c, cand})
+				}
+			}
+		}
+	}
+	// Provider-route flags and hops, relaxed in increasing provDist order.
+	order := make([]int32, 0, n)
+	for a := int32(0); a < int32(n); a++ {
+		if provDist[a] != unreached {
+			order = append(order, a)
+		}
+	}
+	sortByDist(order, provDist)
+	selFlags := func(q int32) uint8 {
+		if custDist[q] != unreached {
+			return custFlags[q]
+		}
+		if peerDist[q] != unreached {
+			return peerFlags[q]
+		}
+		return provFlags[q]
+	}
+	for _, a := range order {
+		best := int32(-1)
+		for _, q := range t.providers[a] {
+			if exportLen(q) != unreached && exportLen(q)+1 == provDist[a] {
+				provFlags[a] |= selFlags(q)
+				if best == -1 || q < best {
+					best = q
+				}
+			}
+		}
+		provHop[a] = best
+	}
+
+	// Selection.
+	routes := make([]Route, n)
+	for a := 0; a < n; a++ {
+		switch {
+		case custDist[a] == 0:
+			routes[a] = Route{Class: ClassOwn, Len: 0, NextHop: -1, Flags: custFlags[a]}
+		case custDist[a] != unreached:
+			routes[a] = Route{Class: ClassCustomer, Len: custDist[a], NextHop: custHop[a], Flags: custFlags[a]}
+		case peerDist[a] != unreached:
+			routes[a] = Route{Class: ClassPeer, Len: peerDist[a], NextHop: peerHop[a], Flags: peerFlags[a]}
+		case provDist[a] != unreached:
+			routes[a] = Route{Class: ClassProvider, Len: provDist[a], NextHop: provHop[a], Flags: provFlags[a]}
+		default:
+			routes[a] = Route{Class: ClassNone, NextHop: -1}
+		}
+	}
+	return routes
+}
+
+// PropagateFrom is the common single-origin case.
+func (t *Topology) PropagateFrom(origin int) []Route {
+	return t.Propagate([]Origin{{AS: origin, Flag: 1}})
+}
+
+// Path reconstructs the AS-level path from AS `from` to the origin using
+// the next-hop chain of a propagation result. Returns nil when unreachable.
+func Path(routes []Route, from int) []int {
+	if !routes[from].Reachable() {
+		return nil
+	}
+	path := []int{from}
+	cur := from
+	for routes[cur].Class != ClassOwn {
+		nh := int(routes[cur].NextHop)
+		if nh < 0 || len(path) > len(routes)+1 {
+			return nil // defensive: corrupt route state
+		}
+		path = append(path, nh)
+		cur = nh
+	}
+	return path
+}
+
+// RouteCache computes and memoizes per-destination propagation results.
+// It is not safe for concurrent use.
+type RouteCache struct {
+	t     *Topology
+	cache map[int][]Route
+}
+
+// NewRouteCache returns a cache over t.
+func NewRouteCache(t *Topology) *RouteCache {
+	return &RouteCache{t: t, cache: map[int][]Route{}}
+}
+
+// RoutesTo returns (computing if needed) all ASes' best routes toward dest.
+func (c *RouteCache) RoutesTo(dest int) []Route {
+	if r, ok := c.cache[dest]; ok {
+		return r
+	}
+	r := c.t.PropagateFrom(dest)
+	c.cache[dest] = r
+	return r
+}
+
+// Topology returns the underlying topology.
+func (c *RouteCache) Topology() *Topology { return c.t }
+
+// VisibleLinks returns the AS-level links that appear on the best paths
+// from the monitor ASes toward every destination: the "public BGP view" of
+// a set of collectors. Valley-free export makes peering links invisible
+// unless a monitor sits in one of the peers or their customer cones,
+// reproducing the visibility bias of §1.
+func VisibleLinks(cache *RouteCache, monitors []int, dests []int) map[asgraph.Pair]bool {
+	visible := map[asgraph.Pair]bool{}
+	for _, d := range dests {
+		routes := cache.RoutesTo(d)
+		for _, m := range monitors {
+			p := Path(routes, m)
+			for i := 0; i+1 < len(p); i++ {
+				visible[asgraph.MakePair(p[i], p[i+1])] = true
+			}
+		}
+	}
+	return visible
+}
+
+// LookingGlass returns one AS's full routing view toward the given
+// destinations: the AS-level paths its selected best routes follow. This
+// is the per-operator view the paper queries from public Looking Glass
+// servers (§4.1, Appx. H).
+func LookingGlass(cache *RouteCache, as int, dests []int) map[int][]int {
+	out := make(map[int][]int, len(dests))
+	for _, d := range dests {
+		if p := Path(cache.RoutesTo(d), as); p != nil {
+			out[d] = p
+		}
+	}
+	return out
+}
+
+// Flag bits for hijack experiments.
+const (
+	FlagVictim   uint8 = 1
+	FlagAttacker uint8 = 2
+)
+
+// SimulateHijack propagates competing announcements of the same prefix:
+// the victim's announcement is seeded at victimSeeds (the providers that
+// receive the legitimate announcement) and the attacker's at attackerSeeds.
+// The returned slice holds, per AS, the union of origin flags over its
+// routes tied for best.
+func (t *Topology) SimulateHijack(victimSeeds, attackerSeeds []int) []uint8 {
+	origins := make([]Origin, 0, len(victimSeeds)+len(attackerSeeds))
+	for _, s := range victimSeeds {
+		origins = append(origins, Origin{AS: s, Flag: FlagVictim})
+	}
+	for _, s := range attackerSeeds {
+		origins = append(origins, Origin{AS: s, Flag: FlagAttacker})
+	}
+	routes := t.Propagate(origins)
+	out := make([]uint8, t.n)
+	for i, r := range routes {
+		if r.Reachable() {
+			out[i] = r.Flags
+		}
+	}
+	return out
+}
+
+// FlatteningMetrics summarizes the best-path structure from a set of source
+// ASes toward a set of destinations: the mean AS-path length and the
+// fraction of routes whose selected class at the source is Provider (the
+// source must buy transit to reach the destination).
+type FlatteningMetrics struct {
+	MeanPathLen  float64
+	ProviderFrac float64
+	Reachable    int
+}
+
+// Flattening computes FlatteningMetrics over the given sources and
+// destinations (skipping src == dst and unreachable pairs).
+func Flattening(cache *RouteCache, sources, dests []int) FlatteningMetrics {
+	var m FlatteningMetrics
+	var lenSum float64
+	provider := 0
+	for _, d := range dests {
+		routes := cache.RoutesTo(d)
+		for _, s := range sources {
+			if s == d || !routes[s].Reachable() {
+				continue
+			}
+			m.Reachable++
+			lenSum += float64(routes[s].Len)
+			if routes[s].Class == ClassProvider {
+				provider++
+			}
+		}
+	}
+	if m.Reachable > 0 {
+		m.MeanPathLen = lenSum / float64(m.Reachable)
+		m.ProviderFrac = float64(provider) / float64(m.Reachable)
+	}
+	return m
+}
+
+// --- helpers ---
+
+type node struct {
+	id   int32
+	dist int32
+}
+
+type nodeHeap []node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func fill32(n int, v int32) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func sortByDist(ids []int32, dist []int32) {
+	// Insertion-friendly small sort is not enough; use a simple counting
+	// bucket sort since distances are small non-negative ints.
+	maxD := int32(0)
+	for _, id := range ids {
+		if dist[id] > maxD {
+			maxD = dist[id]
+		}
+	}
+	buckets := make([][]int32, maxD+1)
+	for _, id := range ids {
+		buckets[dist[id]] = append(buckets[dist[id]], id)
+	}
+	k := 0
+	for _, b := range buckets {
+		for _, id := range b {
+			ids[k] = id
+			k++
+		}
+	}
+}

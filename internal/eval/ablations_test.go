@@ -1,0 +1,118 @@
+package eval
+
+import (
+	"testing"
+)
+
+func TestAblationEpsilon(t *testing.T) {
+	h := testHarness(t)
+	rows, tbl := AblationEpsilon(h)
+	if len(rows) != 4 {
+		t.Fatalf("want 4 ε settings")
+	}
+	for _, r := range rows {
+		if r.FScore < 0 || r.FScore > 1 {
+			t.Fatalf("F out of range: %+v", r)
+		}
+		if r.Entries <= 0 {
+			t.Fatalf("no entries collected at ε=%.1f", r.Epsilon)
+		}
+	}
+	if tbl.String() == "" {
+		t.Fatalf("empty table")
+	}
+}
+
+func TestAblationFeatureWeight(t *testing.T) {
+	h := testHarness(t)
+	rows, _ := AblationFeatureWeight(h)
+	if len(rows) != 5 {
+		t.Fatalf("want 5 weights")
+	}
+	// Features must help the completely-out split: the best weighted
+	// variant should beat the no-features variant.
+	base := rows[0]
+	best := base.ComplOutAUPRC
+	for _, r := range rows[1:] {
+		if r.ComplOutAUPRC > best {
+			best = r.ComplOutAUPRC
+		}
+	}
+	if best < base.ComplOutAUPRC {
+		t.Fatalf("feature weights should help completely-out rows")
+	}
+	for _, r := range rows {
+		if r.StratAUPRC < 0 || r.StratAUPRC > 1 || r.ComplOutAUPRC < 0 || r.ComplOutAUPRC > 1 {
+			t.Fatalf("AUPRC out of range: %+v", r)
+		}
+	}
+}
+
+func TestAblationTransferability(t *testing.T) {
+	h := testHarness(t)
+	rows, _ := AblationTransferability(h)
+	if len(rows) != 6 {
+		t.Fatalf("want 6 metros")
+	}
+	for _, r := range rows {
+		// Transferability can only add entries.
+		if r.EntriesTransfer < r.EntriesLocal {
+			t.Fatalf("%s: transfer lost entries (%d < %d)", r.Metro, r.EntriesTransfer, r.EntriesLocal)
+		}
+		if r.FTransfer < 0 || r.FTransfer > 1 {
+			t.Fatalf("F out of range")
+		}
+	}
+	// Overall, transferred evidence should not hurt completion quality.
+	var fl, ft float64
+	for _, r := range rows {
+		fl += r.FLocal
+		ft += r.FTransfer
+	}
+	if ft < fl-0.3 {
+		t.Fatalf("transferability materially hurt quality: %v vs %v", ft/6, fl/6)
+	}
+}
+
+func TestAblationHierarchicalPrior(t *testing.T) {
+	h := testHarness(t)
+	rows, _ := AblationHierarchicalPrior(h)
+	if len(rows) != 2 {
+		t.Fatalf("want 2 variants")
+	}
+	noPool, prior := rows[0], rows[1]
+	// The prior variant runs a fifth of the bootstrap probes.
+	if prior.Bootstrap >= noPool.Bootstrap {
+		t.Fatalf("hierarchical prior should cut bootstrap cost: %d vs %d", prior.Bootstrap, noPool.Bootstrap)
+	}
+	if noPool.Bootstrap == 0 {
+		t.Fatalf("no-pooling variant issued no bootstrap probes")
+	}
+	// Informative rate must not collapse without the bootstrap.
+	if prior.InformRate < noPool.InformRate*0.3 {
+		t.Fatalf("prior variant informative rate collapsed: %v vs %v", prior.InformRate, noPool.InformRate)
+	}
+}
+
+func TestFig9Measured(t *testing.T) {
+	h := testHarness(t)
+	res, tbl := Fig9Measured(h)
+	if res.PairsProbed == 0 {
+		t.Skip("no multi-metro linked pairs to probe at this scale")
+	}
+	total := res.Confirmed + res.OtherMetro + res.TransitSeen + res.Uninformative
+	// Confirmed counts include the home observation; probe-outcome sum
+	// must cover every probe issued.
+	if total < res.PairsProbed {
+		t.Fatalf("outcomes %d < probes %d", total, res.PairsProbed)
+	}
+	if res.FracHalf < res.FracAll {
+		t.Fatalf("fraction ordering violated: %+v", res)
+	}
+	if res.FracAll < 0 || res.FracHalf > 1 {
+		t.Fatalf("fractions out of range: %+v", res)
+	}
+	if tbl.String() == "" {
+		t.Fatalf("empty table")
+	}
+}

@@ -1,0 +1,24 @@
+package eval
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestScaleTable2 is a manual scale validation: run with
+//
+//	METASCRITIC_SCALE_TEST=1 go test ./internal/eval -run TestScaleTable2 -timeout 40m -v
+//
+// It is skipped by default (it takes several minutes).
+func TestScaleTable2(t *testing.T) {
+	if os.Getenv("METASCRITIC_SCALE_TEST") == "" {
+		t.Skip("scale validation; set METASCRITIC_SCALE_TEST=1 to run")
+	}
+	h := NewHarness(Options{Scale: 0.45, Seed: 1, Budget: 6000, MaxRank: 30})
+	runs, tbl := Table2(h)
+	fmt.Println(tbl.String())
+	for _, r := range runs {
+		fmt.Printf("%-18s F=%.3f rank=%d\n", r.Name, r.FScore, r.Rank)
+	}
+}

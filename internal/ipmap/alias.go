@@ -1,0 +1,79 @@
+package ipmap
+
+import (
+	"sort"
+)
+
+// Router-level view: every (AS, metro) presence is one border router whose
+// interfaces are the AS's plain interface there plus its IXP-LAN addresses
+// at that metro. Alias resolution (Albakour et al., the paper's second
+// validation dataset) groups addresses by router; a router holding an IXP
+// LAN address reveals that its AS interconnects over that fabric.
+
+// RouterID identifies a border router: the (AS, metro) presence.
+type RouterID struct {
+	AS    int
+	Metro int
+}
+
+// RouterOf returns the router owning an interface address.
+func (r *Registry) RouterOf(addr Addr) (RouterID, bool) {
+	inf, ok := r.info[addr]
+	if !ok {
+		return RouterID{}, false
+	}
+	return RouterID{AS: inf.AS, Metro: inf.Metro}, true
+}
+
+// Aliases returns all interface addresses of a router, sorted: the plain
+// (AS, metro) interface plus any IXP LAN addresses of the AS at IXPs in
+// that metro.
+func (r *Registry) Aliases(id RouterID) []Addr {
+	var out []Addr
+	if a, ok := r.ifaceAddr[[2]int{id.AS, id.Metro}]; ok {
+		out = append(out, a)
+	}
+	for _, ixIdx := range r.w.G.ASes[id.AS].IXPs {
+		if r.w.G.IXPs[ixIdx].Metro != id.Metro {
+			continue
+		}
+		if a := r.IXPAddrFor(ixIdx, id.AS); a != 0 {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AliasSets enumerates every router with two or more interfaces — the
+// output an alias-resolution campaign would produce. Routers are returned
+// in deterministic (AS, metro) order.
+func (r *Registry) AliasSets() [][]Addr {
+	var ids []RouterID
+	for _, a := range r.w.G.ASes {
+		for _, m := range a.Metros {
+			ids = append(ids, RouterID{AS: a.Index, Metro: m})
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].AS != ids[j].AS {
+			return ids[i].AS < ids[j].AS
+		}
+		return ids[i].Metro < ids[j].Metro
+	})
+	var out [][]Addr
+	for _, id := range ids {
+		if set := r.Aliases(id); len(set) >= 2 {
+			out = append(out, set)
+		}
+	}
+	return out
+}
+
+// SameRouter reports whether two addresses belong to the same router (the
+// alias test).
+func (r *Registry) SameRouter(a, b Addr) bool {
+	ra, ok1 := r.RouterOf(a)
+	rb, ok2 := r.RouterOf(b)
+	return ok1 && ok2 && ra == rb
+}

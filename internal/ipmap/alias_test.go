@@ -1,0 +1,79 @@
+package ipmap
+
+import (
+	"testing"
+)
+
+func TestRouterOfAndSameRouter(t *testing.T) {
+	w, r := testRegistry(t)
+	for _, a := range w.G.ASes[:20] {
+		for _, m := range a.Metros {
+			addr := r.InterfaceFor(a.Index, m)
+			id, ok := r.RouterOf(addr)
+			if !ok || id.AS != a.Index || id.Metro != m {
+				t.Fatalf("RouterOf(%v) = %+v, %v", addr, id, ok)
+			}
+			if !r.SameRouter(addr, addr) {
+				t.Fatalf("address must alias itself")
+			}
+		}
+	}
+	if _, ok := r.RouterOf(Addr(0xdeadbeef)); ok {
+		t.Fatalf("unknown address has no router")
+	}
+}
+
+func TestAliasesIncludeIXPLAN(t *testing.T) {
+	w, r := testRegistry(t)
+	found := false
+	for _, ix := range w.G.IXPs {
+		for _, member := range ix.Members {
+			id := RouterID{AS: member, Metro: ix.Metro}
+			set := r.Aliases(id)
+			if len(set) < 2 {
+				t.Fatalf("IXP member router should hold >= 2 interfaces: %v", set)
+			}
+			// The plain interface and the IXP address must alias.
+			plain := r.InterfaceFor(member, ix.Metro)
+			lan := r.IXPAddrFor(ix.Index, member)
+			if !r.SameRouter(plain, lan) {
+				t.Fatalf("plain and LAN addresses should share a router")
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("no IXP members in tiny world")
+	}
+}
+
+func TestAliasSets(t *testing.T) {
+	w, r := testRegistry(t)
+	sets := r.AliasSets()
+	if len(sets) == 0 {
+		t.Skip("no multi-interface routers")
+	}
+	for _, set := range sets {
+		if len(set) < 2 {
+			t.Fatalf("alias set with < 2 addresses")
+		}
+		// Every pair in a set aliases; sets are sorted.
+		for k := 1; k < len(set); k++ {
+			if set[k] <= set[k-1] {
+				t.Fatalf("alias set not sorted")
+			}
+			if !r.SameRouter(set[0], set[k]) {
+				t.Fatalf("set members on different routers")
+			}
+		}
+		// All resolve to the same AS.
+		inf0, _ := r.TrueInfo(set[0])
+		for _, a := range set[1:] {
+			inf, _ := r.TrueInfo(a)
+			if inf.AS != inf0.AS {
+				t.Fatalf("alias set spans ASes")
+			}
+		}
+	}
+	_ = w
+}

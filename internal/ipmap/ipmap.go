@@ -1,0 +1,183 @@
+// Package ipmap plays the role of bdrmapit and the geolocation pipeline
+// (Appx. D.1/D.2): it owns the address plan of the simulated Internet and
+// resolves traceroute hop addresses back to (AS, metro, IXP) with a small,
+// deterministic error rate that models the 1.2–8.9% mapping error the
+// paper cites for the real tooling.
+//
+// Addresses are opaque 32-bit identifiers. Each (AS, metro) presence gets
+// an interface block; each IXP gets a shared peering-LAN prefix whose
+// addresses are assigned to member ASes — so a hop on an IXP LAN resolves
+// to the member AS but is pinned to the IXP's metro, exactly how IXP-prefix
+// databases are used in §3.4.
+package ipmap
+
+import (
+	"fmt"
+
+	"metascritic/internal/netsim"
+)
+
+// Addr is an opaque interface address.
+type Addr uint32
+
+// String formats the address like a dotted quad for logs.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Info is the resolution result for one address.
+type Info struct {
+	AS    int // AS owning the interface
+	Metro int // metro the interface is located in
+	IXP   int // IXP index if the address is on an IXP LAN, else -1
+}
+
+// Registry owns the world's address plan.
+type Registry struct {
+	w *netsim.World
+	// ErrorRate is the probability that Resolve mislocates an interface
+	// to another metro of the same AS (deterministic per address).
+	ErrorRate float64
+
+	ifaceAddr map[[2]int]Addr // (AS, metro) -> interface address
+	ixpAddr   map[[2]int]Addr // (IXP, AS) -> peering LAN address
+	info      map[Addr]Info
+	next      Addr
+}
+
+// NewRegistry allocates addresses for every AS presence and IXP membership
+// in the world.
+func NewRegistry(w *netsim.World) *Registry {
+	r := &Registry{
+		w:         w,
+		ErrorRate: 0.02,
+		ifaceAddr: map[[2]int]Addr{},
+		ixpAddr:   map[[2]int]Addr{},
+		info:      map[Addr]Info{},
+		next:      0x0a000001, // 10.0.0.1
+	}
+	for _, a := range w.G.ASes {
+		for _, m := range a.Metros {
+			addr := r.alloc()
+			r.ifaceAddr[[2]int{a.Index, m}] = addr
+			r.info[addr] = Info{AS: a.Index, Metro: m, IXP: -1}
+		}
+	}
+	for _, ix := range w.G.IXPs {
+		for _, member := range ix.Members {
+			addr := r.alloc()
+			r.ixpAddr[[2]int{ix.Index, member}] = addr
+			r.info[addr] = Info{AS: member, Metro: ix.Metro, IXP: ix.Index}
+		}
+	}
+	return r
+}
+
+func (r *Registry) alloc() Addr {
+	a := r.next
+	r.next++
+	return a
+}
+
+// InterfaceFor returns the interface address of AS as at metro m. When the
+// AS has no presence at m (a long-haul interconnect), its closest presence
+// is used instead; the zero Addr is returned only for ASes with no
+// footprint at all.
+func (r *Registry) InterfaceFor(as, m int) Addr {
+	if a, ok := r.ifaceAddr[[2]int{as, m}]; ok {
+		return a
+	}
+	// Closest presence by geographic scope.
+	bestAddr := Addr(0)
+	bestScope := int(^uint(0) >> 1)
+	for _, mm := range r.w.G.ASes[as].Metros {
+		if s := int(r.w.G.ScopeOfMetros(mm, m)); s < bestScope {
+			bestScope = s
+			bestAddr = r.ifaceAddr[[2]int{as, mm}]
+		}
+	}
+	return bestAddr
+}
+
+// IXPAddrFor returns member's address on the IXP peering LAN, or 0 if the
+// AS is not a member.
+func (r *Registry) IXPAddrFor(ixp, member int) Addr {
+	return r.ixpAddr[[2]int{ixp, member}]
+}
+
+// TargetAddr returns a probe-able destination address inside AS as, located
+// at metro m when the AS is present there (otherwise its first footprint
+// metro). Targets reuse the interface plan: what matters for the pipeline
+// is which AS and metro a hit resolves to.
+func (r *Registry) TargetAddr(as, m int) Addr {
+	if a, ok := r.ifaceAddr[[2]int{as, m}]; ok {
+		return a
+	}
+	metros := r.w.G.ASes[as].Metros
+	if len(metros) == 0 {
+		return 0
+	}
+	return r.ifaceAddr[[2]int{as, metros[0]}]
+}
+
+// Resolve maps an address back to (AS, metro, IXP), simulating bdrmapit +
+// geolocation. With probability ErrorRate (deterministic per address) the
+// metro is mislocated to another footprint metro of the same AS; IXP-LAN
+// addresses are never mislocated (IXP prefixes are authoritative).
+func (r *Registry) Resolve(addr Addr) (Info, bool) {
+	inf, ok := r.info[addr]
+	if !ok {
+		return Info{}, false
+	}
+	if inf.IXP >= 0 || r.ErrorRate <= 0 {
+		return inf, true
+	}
+	if hash01(uint32(addr)) < r.ErrorRate {
+		metros := r.w.G.ASes[inf.AS].Metros
+		if len(metros) > 1 {
+			// Pick a deterministic wrong metro.
+			k := int(hashU32(uint32(addr)^0x9e3779b9)) % len(metros)
+			if metros[k] == inf.Metro {
+				k = (k + 1) % len(metros)
+			}
+			inf.Metro = metros[k]
+		}
+	}
+	return inf, true
+}
+
+// TrueInfo bypasses the simulated mapping error (used by ground-truth
+// bookkeeping, never by the inference pipeline).
+func (r *Registry) TrueInfo(addr Addr) (Info, bool) {
+	inf, ok := r.info[addr]
+	return inf, ok
+}
+
+// hashU32 is a deterministic 32-bit mix (xorshift-multiply).
+func hashU32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+// hash01 maps a value to [0,1) deterministically.
+func hash01(x uint32) float64 {
+	return float64(hashU32(x)) / float64(1<<32)
+}
+
+// Hash2 mixes two ints into a deterministic uint32 (shared helper for the
+// traceroute engine's per-flow decisions).
+func Hash2(a, b int) uint32 {
+	return hashU32(uint32(a)*2654435761 ^ hashU32(uint32(b)))
+}
+
+// Hash3 mixes three ints.
+func Hash3(a, b, c int) uint32 {
+	return hashU32(Hash2(a, b) ^ uint32(c)*0x85ebca6b)
+}
+
+// Hash01From maps a uint32 hash to [0,1).
+func Hash01From(h uint32) float64 { return float64(h) / float64(1<<32) }

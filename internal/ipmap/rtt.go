@@ -1,0 +1,85 @@
+package ipmap
+
+import (
+	"math"
+
+	"metascritic/internal/asgraph"
+)
+
+// RTT model (Appx. D.2): ping latency between a probe's metro and an
+// interface grows with geographic scope. The paper geolocates an
+// interconnection to a metro when some local probe measures < 3 ms to the
+// border interfaces; this file reproduces that machinery, which the hop
+// resolver uses to correct rDNS-style mislocations.
+
+// RTTThreshold is the same-metro decision threshold in milliseconds [114].
+const RTTThreshold = 3.0
+
+// rttBase is the typical round-trip time per geographic scope (ms).
+var rttBase = [asgraph.NumGeoScopes]float64{
+	asgraph.SameMetro:     0.8,
+	asgraph.SameCountry:   9,
+	asgraph.SameContinent: 35,
+	asgraph.Elsewhere:     150,
+}
+
+// RTT returns the simulated ping round-trip time in milliseconds from a
+// probe at fromMetro to the interface addr, and whether the interface
+// answers pings at all. The value is deterministic per (metro, addr):
+// base latency for the geographic scope times queueing jitter.
+func (r *Registry) RTT(fromMetro int, addr Addr) (float64, bool) {
+	inf, ok := r.info[addr]
+	if !ok {
+		return 0, false
+	}
+	// Interfaces that never answer traceroute probes don't answer pings
+	// either (same silent-interface population as the traceroute engine).
+	if Hash01From(Hash2(int(addr), 0x51e27)) < 0.12 {
+		return 0, false
+	}
+	scope := r.w.G.ScopeOfMetros(fromMetro, inf.Metro)
+	jitter := 1 + 0.6*Hash01From(Hash3(fromMetro, int(addr), 0x277))
+	return rttBase[scope] * jitter, true
+}
+
+// GeolocateRTT pins addr to a metro using the < 3 ms rule: if any probe
+// metro measures an RTT under the threshold, the interface is in that
+// metro (the minimum-RTT one when several qualify). ok is false when no
+// probe is close enough to decide.
+func (r *Registry) GeolocateRTT(addr Addr, probeMetros []int) (metro int, ok bool) {
+	best := math.Inf(1)
+	metro = -1
+	for _, m := range probeMetros {
+		rtt, answered := r.RTT(m, addr)
+		if !answered {
+			continue
+		}
+		if rtt < RTTThreshold && rtt < best {
+			best = rtt
+			metro = m
+		}
+	}
+	return metro, metro >= 0
+}
+
+// RefinedResolver returns a hop-resolution function that cross-checks the
+// base resolver (bdrmapit + rDNS analog) against RTT geolocation from the
+// given probe metros: when a sub-3ms probe pins the interface to a
+// different metro than the base resolution, the RTT wins (Appx. D.2's
+// precedence: IXP prefix > RTT constraint > rDNS hints).
+func (r *Registry) RefinedResolver(probeMetros []int) func(Addr) (Info, bool) {
+	metros := append([]int(nil), probeMetros...)
+	return func(a Addr) (Info, bool) {
+		inf, ok := r.Resolve(a)
+		if !ok {
+			return inf, false
+		}
+		if inf.IXP >= 0 {
+			return inf, true // IXP prefixes are authoritative
+		}
+		if m, pinned := r.GeolocateRTT(a, metros); pinned && m != inf.Metro {
+			inf.Metro = m
+		}
+		return inf, true
+	}
+}

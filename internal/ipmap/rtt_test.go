@@ -1,0 +1,119 @@
+package ipmap
+
+import (
+	"testing"
+
+	"metascritic/internal/netsim"
+)
+
+func TestRTTScopeOrdering(t *testing.T) {
+	w, r := testRegistry(t)
+	// Pick an AS present at a metro; ping it from same metro, same
+	// country, elsewhere: RTTs must be ordered by scope.
+	ams := w.G.MetroOfName("Amsterdam").Index
+	rot := w.G.MetroOfName("Rotterdam").Index
+	syd := w.G.MetroOfName("Sydney").Index
+	var addr Addr
+	for _, ai := range w.G.Metros[ams].Members {
+		a := r.InterfaceFor(ai, ams)
+		if _, answered := r.RTT(ams, a); answered {
+			addr = a
+			break
+		}
+	}
+	if addr == 0 {
+		t.Skip("no pingable interface")
+	}
+	same, _ := r.RTT(ams, addr)
+	country, _ := r.RTT(rot, addr)
+	far, _ := r.RTT(syd, addr)
+	if !(same < country && country < far) {
+		t.Fatalf("RTT ordering violated: %.1f %.1f %.1f", same, country, far)
+	}
+	if same >= RTTThreshold {
+		t.Fatalf("same-metro RTT %.2f above threshold", same)
+	}
+	// Deterministic.
+	same2, _ := r.RTT(ams, addr)
+	if same != same2 {
+		t.Fatalf("RTT not deterministic")
+	}
+}
+
+func TestRTTUnknownAddr(t *testing.T) {
+	_, r := testRegistry(t)
+	if _, ok := r.RTT(0, Addr(0xdeadbeef)); ok {
+		t.Fatalf("unknown address should not answer pings")
+	}
+}
+
+func TestGeolocateRTT(t *testing.T) {
+	w, r := testRegistry(t)
+	ams := w.G.MetroOfName("Amsterdam").Index
+	all := make([]int, len(w.G.Metros))
+	for i := range all {
+		all[i] = i
+	}
+	pinned, missed := 0, 0
+	for _, ai := range w.G.Metros[ams].Members {
+		addr := r.InterfaceFor(ai, ams)
+		m, ok := r.GeolocateRTT(addr, all)
+		if !ok {
+			missed++ // silent interface: undecidable
+			continue
+		}
+		pinned++
+		if m != ams {
+			t.Fatalf("interface at Amsterdam pinned to metro %d", m)
+		}
+	}
+	if pinned == 0 {
+		t.Fatalf("nothing pinned")
+	}
+	// Without a local probe, geolocation must abstain (no metro within
+	// 3ms).
+	addr := r.InterfaceFor(w.G.Metros[ams].Members[0], ams)
+	far := []int{w.G.MetroOfName("Sydney").Index, w.G.MetroOfName("Tokyo").Index}
+	if _, ok := r.GeolocateRTT(addr, far); ok {
+		t.Fatalf("distant probes should not pin a metro")
+	}
+}
+
+func TestRefinedResolverCorrectsMislocations(t *testing.T) {
+	w := netsim.Generate(netsim.Config{Seed: 2, Metros: netsim.DefaultMetros(0.1)})
+	r := NewRegistry(w)
+	r.ErrorRate = 0.2 // aggressive base error to give RTT work to do
+	all := make([]int, len(w.G.Metros))
+	for i := range all {
+		all[i] = i
+	}
+	refined := r.RefinedResolver(all)
+	baseWrong, refinedWrong, total := 0, 0, 0
+	for _, a := range w.G.ASes {
+		for _, m := range a.Metros {
+			addr := r.InterfaceFor(a.Index, m)
+			truth, _ := r.TrueInfo(addr)
+			base, _ := r.Resolve(addr)
+			ref, ok := refined(addr)
+			if !ok {
+				t.Fatalf("refined resolver failed on known address")
+			}
+			if ref.AS != truth.AS {
+				t.Fatalf("refinement must not change the AS")
+			}
+			total++
+			if base.Metro != truth.Metro {
+				baseWrong++
+			}
+			if ref.Metro != truth.Metro {
+				refinedWrong++
+			}
+		}
+	}
+	if baseWrong == 0 {
+		t.Skip("error model produced no mislocations at this size")
+	}
+	if refinedWrong >= baseWrong {
+		t.Fatalf("RTT refinement did not help: %d vs %d wrong of %d", refinedWrong, baseWrong, total)
+	}
+}

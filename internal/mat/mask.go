@@ -1,0 +1,101 @@
+package mat
+
+import "sort"
+
+// Mask records which entries of a matrix are observed. It is the support
+// set Ω of the matrix-completion problem: completion only trusts entries in
+// the mask, and the rank-estimation loop removes and restores mask entries
+// to build holdout sets.
+type Mask struct {
+	n    int
+	rows []map[int]bool
+}
+
+// NewMask returns an empty mask over an n×n matrix.
+func NewMask(n int) *Mask {
+	rows := make([]map[int]bool, n)
+	for i := range rows {
+		rows[i] = make(map[int]bool)
+	}
+	return &Mask{n: n, rows: rows}
+}
+
+// N returns the matrix dimension the mask covers.
+func (m *Mask) N() int { return m.n }
+
+// Set marks entry (i, j) observed (and (j, i), keeping the mask symmetric).
+func (m *Mask) Set(i, j int) {
+	m.rows[i][j] = true
+	m.rows[j][i] = true
+}
+
+// Unset removes entry (i, j) (and its mirror).
+func (m *Mask) Unset(i, j int) {
+	delete(m.rows[i], j)
+	delete(m.rows[j], i)
+}
+
+// Has reports whether entry (i, j) is observed.
+func (m *Mask) Has(i, j int) bool { return m.rows[i][j] }
+
+// RowCount returns the number of observed entries in row i.
+func (m *Mask) RowCount(i int) int { return len(m.rows[i]) }
+
+// RowEntries returns the observed column indices of row i, sorted. Sorted
+// output keeps every consumer deterministic (several shuffle the result
+// with a seeded RNG, which would otherwise inherit map-iteration
+// randomness). The returned slice is freshly allocated.
+func (m *Mask) RowEntries(i int) []int {
+	out := make([]int, 0, len(m.rows[i]))
+	for j := range m.rows[i] {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Count returns the total number of observed entries, counting (i,j) and
+// (j,i) separately (diagonal entries once).
+func (m *Mask) Count() int {
+	total := 0
+	for _, r := range m.rows {
+		total += len(r)
+	}
+	return total
+}
+
+// Clone returns a deep copy of the mask.
+func (m *Mask) Clone() *Mask {
+	c := NewMask(m.n)
+	for i, r := range m.rows {
+		for j := range r {
+			c.rows[i][j] = true
+		}
+	}
+	return c
+}
+
+// CopyFrom replaces this mask's contents with other's (same dimension).
+func (m *Mask) CopyFrom(other *Mask) {
+	if m.n != other.n {
+		panic("mat: CopyFrom dimension mismatch")
+	}
+	for i := range m.rows {
+		m.rows[i] = make(map[int]bool, len(other.rows[i]))
+		for j := range other.rows[i] {
+			m.rows[i][j] = true
+		}
+	}
+}
+
+// Entries calls fn for every observed entry with i <= j exactly once, in
+// deterministic (row-major, sorted-column) order.
+func (m *Mask) Entries(fn func(i, j int)) {
+	for i := range m.rows {
+		for _, j := range m.RowEntries(i) {
+			if j >= i {
+				fn(i, j)
+			}
+		}
+	}
+}

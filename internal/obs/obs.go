@@ -1,0 +1,464 @@
+// Package obs turns raw traceroutes into the estimated connectivity matrix
+// E_m of §3.4: it detects direct inter-AS crossings (link evidence),
+// recognizes intermediate-transit patterns (non-link evidence), tracks
+// routing consistency (Appx. D.5) and well-positioned vantage points, and
+// applies the geographic-transferability weights (±1, ±0.7, ±0.4, ±0.1)
+// when folding observations from other metros into a target metro's
+// estimate.
+package obs
+
+import (
+	"sort"
+
+	"metascritic/internal/asgraph"
+	"metascritic/internal/ipmap"
+	"metascritic/internal/mat"
+	"metascritic/internal/traceroute"
+)
+
+// TransferWeight maps a geographic scope to the paper's evidence weight.
+func TransferWeight(s asgraph.GeoScope) float64 {
+	switch s {
+	case asgraph.SameMetro:
+		return 1.0
+	case asgraph.SameCountry:
+		return 0.7
+	case asgraph.SameContinent:
+		return 0.4
+	default:
+		return 0.1
+	}
+}
+
+// probeKey identifies a vantage point.
+type probeKey struct{ as, metro int }
+
+// transitObs is one observed "i → transit → j" pattern.
+type transitObs struct {
+	metro int // metro of the crossing into the transit
+	near  int // the AS on the probe side of the transit (i in the paper)
+	probe probeKey
+}
+
+// Finding summarizes what one traceroute taught us: a direct crossing (or
+// transit pattern) between a pair at a metro.
+type Finding struct {
+	Pair   asgraph.Pair
+	Metro  int
+	Direct bool // true: link evidence; false: transit (non-link) evidence
+}
+
+// Store accumulates traceroute-derived knowledge across all metros.
+type Store struct {
+	g       *asgraph.Graph
+	resolve func(ipmap.Addr) (ipmap.Info, bool)
+
+	// direct[pair] = set of metros with an observed direct crossing.
+	direct map[asgraph.Pair]map[int]bool
+	// transit[pair] = observed intermediate-transit patterns.
+	transit map[asgraph.Pair][]transitObs
+	// probeSeen[probe] = set of (AS, metro) interfaces the probe's
+	// traceroutes have traversed (for the well-positioned test).
+	probeSeen map[probeKey]map[[2]int]bool
+	// probeTraces counts traces issued per probe.
+	probeTraces map[probeKey]int
+	// consistency cache, invalidated on AddTrace.
+	consistent map[asgraph.GeoScope]map[int]bool
+}
+
+// NewStore builds an empty store. resolve is the hop-resolution function
+// (normally Registry.Resolve).
+func NewStore(g *asgraph.Graph, resolve func(ipmap.Addr) (ipmap.Info, bool)) *Store {
+	return &Store{
+		g:           g,
+		resolve:     resolve,
+		direct:      map[asgraph.Pair]map[int]bool{},
+		transit:     map[asgraph.Pair][]transitObs{},
+		probeSeen:   map[probeKey]map[[2]int]bool{},
+		probeTraces: map[probeKey]int{},
+	}
+}
+
+// hopInfo is a resolved responsive hop.
+type hopInfo struct {
+	as    int
+	metro int
+	ixp   int
+}
+
+// AddTrace ingests one traceroute and returns what it learned. Unresponsive
+// hops break adjacency: a crossing is only derived from two consecutive
+// responsive hops (the paper's definition of link observation).
+func (s *Store) AddTrace(tr traceroute.Trace) []Finding {
+	s.consistent = nil
+	pk := probeKey{tr.VPAS, tr.VPMetro}
+	s.probeTraces[pk]++
+	seen := s.probeSeen[pk]
+	if seen == nil {
+		seen = map[[2]int]bool{}
+		s.probeSeen[pk] = seen
+	}
+
+	// Resolve responsive hops.
+	var hops []hopInfo
+	var gaps []bool // gaps[i]: an unresponsive hop preceded hops[i]
+	gap := false
+	for _, h := range tr.Hops {
+		if !h.Responsive {
+			gap = true
+			continue
+		}
+		inf, ok := s.resolve(h.Addr)
+		if !ok {
+			gap = true
+			continue
+		}
+		hops = append(hops, hopInfo{inf.AS, inf.Metro, inf.IXP})
+		gaps = append(gaps, gap)
+		gap = false
+		seen[[2]int{inf.AS, inf.Metro}] = true
+	}
+
+	var findings []Finding
+
+	// Collapse to AS-level segments while noting crossings between
+	// consecutive responsive hops.
+	type seg struct {
+		as       int
+		metro    int  // metro where we first saw the AS on this trace
+		adjacent bool // crossing from the previous segment had no gap
+	}
+	var segs []seg
+	for i, h := range hops {
+		if len(segs) > 0 && segs[len(segs)-1].as == h.as {
+			continue
+		}
+		segs = append(segs, seg{as: h.as, metro: h.metro, adjacent: !gaps[i]})
+	}
+
+	// Direct crossings: adjacent segments with no gap between them.
+	for i := 1; i < len(segs); i++ {
+		if !segs[i].adjacent {
+			continue
+		}
+		x, y := segs[i-1].as, segs[i].as
+		pr := asgraph.MakePair(x, y)
+		// Geolocate the crossing: the ingress hop's metro (IXP prefixes
+		// have already pinned IXP crossings to the IXP metro during
+		// resolution).
+		m := segs[i].metro
+		if s.direct[pr] == nil {
+			s.direct[pr] = map[int]bool{}
+		}
+		if !s.direct[pr][m] {
+			s.direct[pr][m] = true
+		}
+		findings = append(findings, Finding{Pair: pr, Metro: m, Direct: true})
+	}
+
+	// Transit patterns: x → t → y where t is a provider of x or of y
+	// according to the public relationship data, with no gaps.
+	for i := 2; i < len(segs); i++ {
+		if !segs[i].adjacent || !segs[i-1].adjacent {
+			continue
+		}
+		x, t, y := segs[i-2].as, segs[i-1].as, segs[i].as
+		if x == y {
+			continue
+		}
+		if !s.g.HasProvider(x, t) && !s.g.HasProvider(y, t) {
+			continue
+		}
+		pr := asgraph.MakePair(x, y)
+		m := segs[i-1].metro // where the flow entered the transit
+		s.transit[pr] = append(s.transit[pr], transitObs{metro: m, near: x, probe: pk})
+		findings = append(findings, Finding{Pair: pr, Metro: m, Direct: false})
+	}
+	return findings
+}
+
+// DirectMetros returns the metros where a direct crossing between the pair
+// has been observed (nil if none).
+func (s *Store) DirectMetros(a, b int) []int {
+	set := s.direct[asgraph.MakePair(a, b)]
+	if set == nil {
+		return nil
+	}
+	out := make([]int, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WellPositioned reports whether the probe can judge links of AS i at
+// metro m: it has traversed an interface of i at m, or has issued no
+// traceroute at all (§3.4).
+func (s *Store) WellPositioned(vpAS, vpMetro, i, m int) bool {
+	pk := probeKey{vpAS, vpMetro}
+	if s.probeTraces[pk] == 0 {
+		return true
+	}
+	return s.probeSeen[pk][[2]int{i, m}]
+}
+
+// inconsistentPairsAt returns the pairs with contradictory observations at
+// scope sc: a direct crossing and a transit pattern within the same
+// geographic region.
+func (s *Store) inconsistentPairsAt(sc asgraph.GeoScope) []asgraph.Pair {
+	var out []asgraph.Pair
+	for pr, tobs := range s.transit {
+		dm := s.direct[pr]
+		if len(dm) == 0 {
+			continue
+		}
+		found := false
+		for _, to := range tobs {
+			for m := range dm {
+				if s.g.ScopeOfMetros(m, to.metro) <= sc {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if found {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// ConsistentASes returns the set of ASes with consistent routing at scope
+// sc, derived by iteratively eliminating the AS involved in the most
+// contradictory pairs until none remain (Appx. D.5).
+func (s *Store) ConsistentASes(sc asgraph.GeoScope) map[int]bool {
+	if s.consistent == nil {
+		s.consistent = map[asgraph.GeoScope]map[int]bool{}
+	}
+	if c, ok := s.consistent[sc]; ok {
+		return c
+	}
+	bad := s.inconsistentPairsAt(sc)
+	removed := map[int]bool{}
+	for len(bad) > 0 {
+		counts := map[int]int{}
+		for _, pr := range bad {
+			counts[pr.A]++
+			counts[pr.B]++
+		}
+		worst, worstN := -1, -1
+		for as, n := range counts {
+			if n > worstN || (n == worstN && as < worst) {
+				worst, worstN = as, n
+			}
+		}
+		removed[worst] = true
+		var next []asgraph.Pair
+		for _, pr := range bad {
+			if pr.A != worst && pr.B != worst {
+				next = append(next, pr)
+			}
+		}
+		bad = next
+	}
+	out := map[int]bool{}
+	for i := 0; i < s.g.N(); i++ {
+		if !removed[i] {
+			out[i] = true
+		}
+	}
+	s.consistent[sc] = out
+	return out
+}
+
+// NegativePolicy selects which conditions gate non-link evidence; the E.7
+// ablation compares these.
+type NegativePolicy int
+
+// Non-link inference policies.
+const (
+	// NegFull uses every transit observation (no conditions).
+	NegFull NegativePolicy = iota
+	// NegWellPositioned requires a well-positioned probe but ignores
+	// routing consistency.
+	NegWellPositioned
+	// NegMetascritic requires both a well-positioned probe and routing
+	// consistency at the evidence scope (the paper's method).
+	NegMetascritic
+	// NegNone never infers non-existence from measurements.
+	NegNone
+)
+
+// Estimate is the estimated connectivity matrix E_m for one metro.
+type Estimate struct {
+	Metro   int
+	Members []int
+	Index   map[int]int
+	// E holds evidence values in [-1, 1]; only entries in Mask are
+	// meaningful.
+	E    *mat.Matrix
+	Mask *mat.Mask
+}
+
+// Value returns the evidence value for graph-level ASes a and b, and
+// whether it is observed.
+func (e *Estimate) Value(a, b int) (float64, bool) {
+	i, ok1 := e.Index[a]
+	j, ok2 := e.Index[b]
+	if !ok1 || !ok2 || !e.Mask.Has(i, j) {
+		return 0, false
+	}
+	return e.E.At(i, j), true
+}
+
+// Set records an evidence value (keeping E symmetric).
+func (e *Estimate) Set(i, j int, v float64) {
+	e.E.Set(i, j, v)
+	e.E.Set(j, i, v)
+	e.Mask.Set(i, j)
+}
+
+// RowFill returns the number of observed entries for each member row.
+func (e *Estimate) RowFill() []int {
+	out := make([]int, len(e.Members))
+	for i := range out {
+		out[i] = e.Mask.RowCount(i)
+	}
+	return out
+}
+
+// Estimate assembles E_m for the target metro over the given member ASes,
+// applying transferability weights and the configured non-link policy.
+func (s *Store) Estimate(metro int, members []int, policy NegativePolicy) *Estimate {
+	return s.EstimateScoped(metro, members, policy, asgraph.Elsewhere)
+}
+
+// EstimateScoped is Estimate restricted to observations within maxScope of
+// the target metro: SameMetro disables geographic transferability entirely
+// (the Appx. E.4 ablation), Elsewhere enables the full ±1/±0.7/±0.4/±0.1
+// weighting.
+func (s *Store) EstimateScoped(metro int, members []int, policy NegativePolicy, maxScope asgraph.GeoScope) *Estimate {
+	est := &Estimate{
+		Metro:   metro,
+		Members: members,
+		Index:   make(map[int]int, len(members)),
+		E:       mat.New(len(members), len(members)),
+		Mask:    mat.NewMask(len(members)),
+	}
+	for i, as := range members {
+		est.Index[as] = i
+	}
+	memberSet := map[int]bool{}
+	for _, as := range members {
+		memberSet[as] = true
+	}
+
+	consistentCache := map[asgraph.GeoScope]map[int]bool{}
+	consistentAt := func(sc asgraph.GeoScope) map[int]bool {
+		if c, ok := consistentCache[sc]; ok {
+			return c
+		}
+		c := s.ConsistentASes(sc)
+		consistentCache[sc] = c
+		return c
+	}
+
+	// Positive evidence.
+	pos := map[asgraph.Pair]float64{}
+	for pr, metros := range s.direct {
+		if !memberSet[pr.A] || !memberSet[pr.B] {
+			continue
+		}
+		best := 0.0
+		for m := range metros {
+			sc := s.g.ScopeOfMetros(m, metro)
+			if sc > maxScope {
+				continue
+			}
+			if w := TransferWeight(sc); w > best {
+				best = w
+			}
+		}
+		if best > 0 {
+			pos[pr] = best
+		}
+	}
+
+	// Negative evidence.
+	neg := map[asgraph.Pair]float64{}
+	if policy != NegNone {
+		for pr, tobs := range s.transit {
+			if !memberSet[pr.A] || !memberSet[pr.B] {
+				continue
+			}
+			best := 0.0 // strongest magnitude
+			for _, to := range tobs {
+				sc := s.g.ScopeOfMetros(to.metro, metro)
+				if sc > maxScope {
+					continue
+				}
+				w := TransferWeight(sc)
+				if w <= best {
+					continue
+				}
+				// The probe must be well-positioned for the near-side AS
+				// at the metro where the transit crossing was observed
+				// (§3.4): that is what licenses reading the detour as
+				// evidence of a missing direct link there. NegFull skips
+				// the gate (E.7 ablation).
+				if policy == NegWellPositioned || policy == NegMetascritic {
+					if !s.WellPositioned(to.probe.as, to.probe.metro, to.near, to.metro) {
+						continue
+					}
+				}
+				if policy == NegMetascritic {
+					c := consistentAt(sc)
+					if !c[pr.A] || !c[pr.B] {
+						continue
+					}
+				}
+				best = w
+			}
+			if best > 0 {
+				neg[pr] = -best
+			}
+		}
+	}
+
+	// Merge: keep the larger magnitude; positive wins ties.
+	for pr, v := range pos {
+		i, j := est.Index[pr.A], est.Index[pr.B]
+		est.Set(i, j, v)
+	}
+	for pr, v := range neg {
+		i, j := est.Index[pr.A], est.Index[pr.B]
+		if cur, ok := est.Value(pr.A, pr.B); ok && cur >= -v {
+			continue
+		}
+		est.Set(i, j, v)
+	}
+	return est
+}
+
+// PairCounts returns, per member AS, the number of positive and negative
+// observed entries in an estimate — the dominant Shapley features (# of
+// existing / non-existing links, Fig. 13).
+func (e *Estimate) PairCounts() (posCount, negCount []int) {
+	n := len(e.Members)
+	posCount = make([]int, n)
+	negCount = make([]int, n)
+	for i := 0; i < n; i++ {
+		for _, j := range e.Mask.RowEntries(i) {
+			if e.E.At(i, j) > 0 {
+				posCount[i]++
+			} else {
+				negCount[i]++
+			}
+		}
+	}
+	return posCount, negCount
+}

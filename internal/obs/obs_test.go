@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"testing"
+
+	"metascritic/internal/asgraph"
+	"metascritic/internal/ipmap"
+	"metascritic/internal/netsim"
+	"metascritic/internal/traceroute"
+)
+
+// fakeAddr encodes (AS, metro) for the unit tests.
+func fakeAddr(as, metro int) ipmap.Addr { return ipmap.Addr(as*100 + metro + 1) }
+
+func fakeResolve(a ipmap.Addr) (ipmap.Info, bool) {
+	if a == 0 {
+		return ipmap.Info{}, false
+	}
+	v := int(a) - 1
+	return ipmap.Info{AS: v / 100, Metro: v % 100, IXP: -1}, true
+}
+
+// testGraph: metros 0 (AMS/NL), 1 (ROT/NL), 2 (NYC/US), 3 (SYD/AU).
+// ASes 0..5; AS 9? keep 6 ASes. AS 2 is a provider of 0 and 1.
+func testGraph() *asgraph.Graph {
+	g := asgraph.NewGraph()
+	g.Continents = []string{"EU", "NA", "OC"}
+	g.Countries = []asgraph.Country{{Code: "NL", Continent: 0}, {Code: "US", Continent: 1}, {Code: "AU", Continent: 2}}
+	g.Metros = []*asgraph.Metro{
+		{Index: 0, Name: "Amsterdam", Country: 0},
+		{Index: 1, Name: "Rotterdam", Country: 0},
+		{Index: 2, Name: "NewYork", Country: 1},
+		{Index: 3, Name: "Sydney", Country: 2},
+	}
+	for i := 0; i < 6; i++ {
+		g.AddAS(&asgraph.AS{ASN: 100 + i, Metros: []int{0, 1, 2, 3}})
+	}
+	g.AddC2P(0, 2)
+	g.AddC2P(1, 2)
+	return g
+}
+
+func mkTrace(vp, vpMetro, dst int, hops ...[2]int) traceroute.Trace {
+	tr := traceroute.Trace{VPAS: vp, VPMetro: vpMetro, DstAS: dst, Reached: true}
+	for _, h := range hops {
+		tr.Hops = append(tr.Hops, traceroute.Hop{Addr: fakeAddr(h[0], h[1]), Responsive: true})
+	}
+	return tr
+}
+
+func TestDirectCrossingDetected(t *testing.T) {
+	g := testGraph()
+	s := NewStore(g, fakeResolve)
+	// VP in AS 3 at metro 0; path 3 -> 4 crossing at metro 0.
+	f := s.AddTrace(mkTrace(3, 0, 4, [2]int{3, 0}, [2]int{4, 0}))
+	if len(f) != 1 || !f[0].Direct || f[0].Metro != 0 {
+		t.Fatalf("findings = %+v", f)
+	}
+	if dm := s.DirectMetros(3, 4); len(dm) != 1 || dm[0] != 0 {
+		t.Fatalf("DirectMetros = %v", dm)
+	}
+	est := s.Estimate(0, []int{3, 4, 5}, NegMetascritic)
+	v, ok := est.Value(3, 4)
+	if !ok || v != 1.0 {
+		t.Fatalf("E[3,4] = %v,%v, want 1", v, ok)
+	}
+	if _, ok := est.Value(3, 5); ok {
+		t.Fatalf("unobserved entry should not be set")
+	}
+}
+
+func TestUnresponsiveHopBreaksAdjacency(t *testing.T) {
+	g := testGraph()
+	s := NewStore(g, fakeResolve)
+	tr := mkTrace(3, 0, 4, [2]int{3, 0}, [2]int{4, 0})
+	// Insert a silent hop between the two.
+	tr.Hops = []traceroute.Hop{tr.Hops[0], {Responsive: false}, tr.Hops[1]}
+	f := s.AddTrace(tr)
+	if len(f) != 0 {
+		t.Fatalf("gap should suppress crossing, got %+v", f)
+	}
+}
+
+func TestTransferWeights(t *testing.T) {
+	cases := map[asgraph.GeoScope]float64{
+		asgraph.SameMetro:     1.0,
+		asgraph.SameCountry:   0.7,
+		asgraph.SameContinent: 0.4,
+		asgraph.Elsewhere:     0.1,
+	}
+	for sc, want := range cases {
+		if got := TransferWeight(sc); got != want {
+			t.Fatalf("TransferWeight(%v) = %v", sc, got)
+		}
+	}
+}
+
+func TestGeographicTransferability(t *testing.T) {
+	g := testGraph()
+	s := NewStore(g, fakeResolve)
+	// Crossing observed at Rotterdam (metro 1, same country as AMS).
+	s.AddTrace(mkTrace(3, 1, 4, [2]int{3, 1}, [2]int{4, 1}))
+	est := s.Estimate(0, []int{3, 4}, NegMetascritic)
+	if v, _ := est.Value(3, 4); v != 0.7 {
+		t.Fatalf("same-country transfer = %v, want 0.7", v)
+	}
+	// A crossing in Sydney transfers weakly to Amsterdam.
+	s2 := NewStore(g, fakeResolve)
+	s2.AddTrace(mkTrace(3, 3, 4, [2]int{3, 3}, [2]int{4, 3}))
+	est2 := s2.Estimate(0, []int{3, 4}, NegMetascritic)
+	if v, _ := est2.Value(3, 4); v != 0.1 {
+		t.Fatalf("elsewhere transfer = %v, want 0.1", v)
+	}
+	// Observing the same-metro crossing later upgrades the value.
+	s2.AddTrace(mkTrace(3, 0, 4, [2]int{3, 0}, [2]int{4, 0}))
+	est3 := s2.Estimate(0, []int{3, 4}, NegMetascritic)
+	if v, _ := est3.Value(3, 4); v != 1.0 {
+		t.Fatalf("upgraded transfer = %v, want 1", v)
+	}
+}
+
+func TestTransitPatternYieldsNegative(t *testing.T) {
+	g := testGraph()
+	s := NewStore(g, fakeResolve)
+	// Probe (5,0) first traverses AS 0 at metro 0 so it is well-positioned.
+	s.AddTrace(mkTrace(5, 0, 0, [2]int{5, 0}, [2]int{0, 0}))
+	// Then 0 -> 2 (provider of both 0 and 1) -> 1, all at metro 0.
+	f := s.AddTrace(mkTrace(5, 0, 1, [2]int{5, 0}, [2]int{0, 0}, [2]int{2, 0}, [2]int{1, 0}))
+	foundTransit := false
+	for _, fd := range f {
+		if !fd.Direct && fd.Pair == asgraph.MakePair(0, 1) {
+			foundTransit = true
+		}
+	}
+	if !foundTransit {
+		t.Fatalf("transit pattern not detected: %+v", f)
+	}
+	est := s.Estimate(0, []int{0, 1}, NegMetascritic)
+	if v, ok := est.Value(0, 1); !ok || v != -1.0 {
+		t.Fatalf("E[0,1] = %v,%v, want -1", v, ok)
+	}
+	// Scope weighting: estimate for Sydney gets only weak evidence.
+	estSyd := s.Estimate(3, []int{0, 1}, NegMetascritic)
+	if v, ok := estSyd.Value(0, 1); !ok || v != -0.1 {
+		t.Fatalf("Sydney E[0,1] = %v,%v, want -0.1", v, ok)
+	}
+}
+
+func TestNegNonePolicy(t *testing.T) {
+	g := testGraph()
+	s := NewStore(g, fakeResolve)
+	s.AddTrace(mkTrace(5, 0, 0, [2]int{5, 0}, [2]int{0, 0}))
+	s.AddTrace(mkTrace(5, 0, 1, [2]int{5, 0}, [2]int{0, 0}, [2]int{2, 0}, [2]int{1, 0}))
+	est := s.Estimate(0, []int{0, 1}, NegNone)
+	if _, ok := est.Value(0, 1); ok {
+		t.Fatalf("NegNone must not record negatives")
+	}
+}
+
+func TestWellPositionedGate(t *testing.T) {
+	g := testGraph()
+	s := NewStore(g, fakeResolve)
+	// The probe sees AS 0 only at metro 2, but the transit crossing is
+	// geolocated to metro 0: the probe is NOT well-positioned for AS 0 at
+	// metro 0, so the detour cannot be read as a missing link there.
+	s.AddTrace(mkTrace(5, 2, 4, [2]int{5, 2}, [2]int{4, 2}))
+	s.AddTrace(mkTrace(5, 2, 1, [2]int{5, 2}, [2]int{0, 2}, [2]int{2, 0}, [2]int{1, 0}))
+	est0 := s.Estimate(0, []int{0, 1}, NegMetascritic)
+	if _, ok := est0.Value(0, 1); ok {
+		t.Fatalf("not-well-positioned probe should not produce negatives")
+	}
+	// NegFull ignores the gate.
+	estFull := s.Estimate(0, []int{0, 1}, NegFull)
+	if v, ok := estFull.Value(0, 1); !ok || v >= 0 {
+		t.Fatalf("NegFull should record negative, got %v,%v", v, ok)
+	}
+	// Once the probe has traversed AS 0 at metro 0, the gate opens.
+	s.AddTrace(mkTrace(5, 2, 0, [2]int{5, 2}, [2]int{0, 0}))
+	s.AddTrace(mkTrace(5, 2, 1, [2]int{5, 2}, [2]int{0, 0}, [2]int{2, 0}, [2]int{1, 0}))
+	est1 := s.Estimate(0, []int{0, 1}, NegMetascritic)
+	if v, ok := est1.Value(0, 1); !ok || v != -1.0 {
+		t.Fatalf("after coverage, E[0,1] = %v,%v, want -1", v, ok)
+	}
+}
+
+func TestConsistencyGate(t *testing.T) {
+	g := testGraph()
+	s := NewStore(g, fakeResolve)
+	// Same pair shows BOTH a direct crossing and a transit pattern at the
+	// same metro: inconsistent routing; negatives must be suppressed under
+	// NegMetascritic.
+	s.AddTrace(mkTrace(5, 0, 0, [2]int{5, 0}, [2]int{0, 0}))
+	s.AddTrace(mkTrace(5, 0, 1, [2]int{5, 0}, [2]int{0, 0}, [2]int{1, 0}))               // direct 0-1
+	s.AddTrace(mkTrace(5, 0, 1, [2]int{5, 0}, [2]int{0, 0}, [2]int{2, 0}, [2]int{1, 0})) // transit 0-2-1
+	cons := s.ConsistentASes(asgraph.SameMetro)
+	if cons[0] && cons[1] {
+		t.Fatalf("one of the contradictory ASes should be eliminated")
+	}
+	est := s.Estimate(0, []int{0, 1}, NegMetascritic)
+	v, ok := est.Value(0, 1)
+	if !ok || v != 1.0 {
+		t.Fatalf("direct evidence should win for inconsistent pair: %v,%v", v, ok)
+	}
+	// NegWellPositioned ignores consistency but keeps the direct value
+	// since |1| >= |-1| (positive wins ties).
+	estW := s.Estimate(0, []int{0, 1}, NegWellPositioned)
+	if v, _ := estW.Value(0, 1); v != 1.0 {
+		t.Fatalf("tie should favor positive, got %v", v)
+	}
+}
+
+func TestConsistencyScopeGranularity(t *testing.T) {
+	g := testGraph()
+	s := NewStore(g, fakeResolve)
+	// Direct at Amsterdam (0), transit at NYC (2): different continents,
+	// so the pair is consistent at metro/country/continent scope but
+	// inconsistent at Elsewhere scope.
+	s.AddTrace(mkTrace(5, 0, 1, [2]int{5, 0}, [2]int{0, 0}, [2]int{1, 0}))
+	s.AddTrace(mkTrace(5, 2, 1, [2]int{5, 2}, [2]int{0, 2}, [2]int{2, 2}, [2]int{1, 2}))
+	if len(s.inconsistentPairsAt(asgraph.SameMetro)) != 0 {
+		t.Fatalf("should be consistent at metro scope")
+	}
+	if len(s.inconsistentPairsAt(asgraph.Elsewhere)) != 1 {
+		t.Fatalf("should be inconsistent at global scope")
+	}
+}
+
+func TestEstimateHelpers(t *testing.T) {
+	g := testGraph()
+	s := NewStore(g, fakeResolve)
+	s.AddTrace(mkTrace(5, 0, 4, [2]int{5, 0}, [2]int{4, 0}))
+	est := s.Estimate(0, []int{4, 5}, NegMetascritic)
+	fill := est.RowFill()
+	if fill[0] != 1 || fill[1] != 1 {
+		t.Fatalf("RowFill = %v", fill)
+	}
+	pos, neg := est.PairCounts()
+	if pos[0] != 1 || neg[0] != 0 {
+		t.Fatalf("PairCounts = %v %v", pos, neg)
+	}
+}
+
+func TestEndToEndWithSimulatedWorld(t *testing.T) {
+	// Integration: feed real simulated traceroutes and check that derived
+	// direct links are true links (precision of raw measurement ≈ 1 up to
+	// ipmap error).
+	w := netsim.Generate(netsim.Config{Seed: 11, Metros: netsim.DefaultMetros(0.1)})
+	e := traceroute.NewEngine(w)
+	e.Reg.ErrorRate = 0
+	s := NewStore(w.G, e.Reg.Resolve)
+	n := 0
+	for _, p := range w.Probes {
+		if n > 400 {
+			break
+		}
+		for dst := 0; dst < w.G.N(); dst += 29 {
+			if dst == p.AS {
+				continue
+			}
+			s.AddTrace(e.Run(p.AS, p.Metro, dst))
+			n++
+		}
+	}
+	checked := 0
+	for pr := range s.direct {
+		if _, ok := w.RelOf(pr.A, pr.B); !ok {
+			t.Fatalf("observed direct crossing %v is not a real link", pr)
+		}
+		for _, m := range s.DirectMetros(pr.A, pr.B) {
+			found := false
+			for _, mm := range w.InterconnectMetros(pr.A, pr.B) {
+				if mm == m {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("crossing %v geolocated to metro %d where pair has no interconnect", pr, m)
+			}
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("too few links observed: %d", checked)
+	}
+}

@@ -1,0 +1,634 @@
+// Package probe implements metAScritic's targeted-measurement machinery
+// (§3.3): the categorization of vantage points and targets into 144
+// measurement strategies, the per-link success-probability matrix P_m, the
+// ε-greedy exploitation/exploration batch selection, per-vantage-point
+// scoring, and the hierarchical cross-metro prior of Appx. D.6.
+package probe
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"metascritic/internal/asgraph"
+)
+
+// VP is a vantage point: a probe hosted by an AS at a metro.
+type VP struct {
+	AS    int
+	Metro int
+}
+
+// VPTopo is the topological relation of a vantage point to the near-side
+// AS i of a link.
+type VPTopo int
+
+// Vantage-point topological categories.
+const (
+	VPInAS VPTopo = iota
+	VPInCone
+	VPOutside
+	numVPTopo
+)
+
+// TgtTopo is the topological relation of a target to the far-side AS j.
+type TgtTopo int
+
+// Target topological categories. TgtAdjIXP replaces "outside the cone"
+// for targets: addresses adjacent to an IXP in the metro (§3.3.2).
+const (
+	TgtInAS TgtTopo = iota
+	TgtInCone
+	TgtAdjIXP
+	numTgtTopo
+)
+
+// Strategy is one of the 144 (vantage-point category, target category)
+// combinations.
+type Strategy struct {
+	VPGeo  asgraph.GeoScope
+	VPTop  VPTopo
+	TgtGeo asgraph.GeoScope
+	TgtTop TgtTopo
+}
+
+// NumStrategies is the total number of measurement strategies.
+const NumStrategies = int(asgraph.NumGeoScopes) * int(numVPTopo) * int(asgraph.NumGeoScopes) * int(numTgtTopo)
+
+// ID returns the strategy's dense index in [0, NumStrategies).
+func (s Strategy) ID() int {
+	return ((int(s.VPGeo)*int(numVPTopo)+int(s.VPTop))*int(asgraph.NumGeoScopes)+int(s.TgtGeo))*int(numTgtTopo) + int(s.TgtTop)
+}
+
+// StrategyFromID inverts ID.
+func StrategyFromID(id int) Strategy {
+	tt := id % int(numTgtTopo)
+	id /= int(numTgtTopo)
+	tg := id % int(asgraph.NumGeoScopes)
+	id /= int(asgraph.NumGeoScopes)
+	vt := id % int(numVPTopo)
+	id /= int(numVPTopo)
+	return Strategy{VPGeo: asgraph.GeoScope(id), VPTop: VPTopo(vt), TgtGeo: asgraph.GeoScope(tg), TgtTop: TgtTopo(tt)}
+}
+
+// Target is a candidate traceroute destination: an address in AS at metro.
+type Target struct {
+	AS    int
+	Metro int
+}
+
+// Measurement is one proposed traceroute.
+type Measurement struct {
+	VP          VP
+	Target      Target
+	LinkI       int // near-side member AS (graph index)
+	LinkJ       int // far-side member AS
+	Strat       Strategy
+	P           float64 // estimated probability of being informative
+	Exploration bool
+}
+
+// Selector chooses measurements for one metro. It sees only public data:
+// the AS graph (relationships, footprints, IXP membership), probe
+// locations, and a hitlist of probe-able targets.
+type Selector struct {
+	G     *asgraph.Graph
+	Metro int
+	// Members are the ASes of the connectivity matrix, row order.
+	Members []int
+	Index   map[int]int
+
+	vps []VP
+	// hitlist lists believed-responsive target ASes (ISI hitlist analog).
+	hitlist map[int]bool
+
+	// Strategy-level statistics (Beta-style pseudo-counts).
+	stratSucc  [NumStrategies]float64
+	stratTrial [NumStrategies]float64
+
+	// Per-entry penalties: repeated uninformative attempts at the same
+	// entry with the same strategy halve its probability (§3.3.2), and a
+	// milder entry-wide factor discourages cycling through strategies on
+	// an elusive link. Keyed by entry first so the hot path pays one map
+	// lookup per entry, not one per strategy.
+	penalty      map[[2]int]map[int]float64
+	entryPenalty map[[2]int]float64
+	// attempts per entry (for the one-exploration-per-entry cap).
+	explored map[[2]int]bool
+
+	// VP scoring: per (vp, AS) informative/total counts.
+	vpScore map[vpAS]*counter
+
+	// Cached per-member VP and target categorizations, with their sorted
+	// key lists (map iteration order is random; the hot path must be
+	// deterministic and cannot afford re-sorting).
+	vpCats  map[int]map[int][]VP // member -> catKey(vpGeo, vpTopo) -> vps
+	vpKeys  map[int][]int
+	tgtCats map[int]map[int][]Target // member -> catKey(tgtGeo, tgtTopo) -> targets
+	tgtKeys map[int][]int
+}
+
+type vpAS struct {
+	vp VP
+	as int
+}
+
+type counter struct{ good, total float64 }
+
+// NewSelector builds a selector for a metro over the given members, probes
+// and hitlist of target ASes.
+func NewSelector(g *asgraph.Graph, metro int, members []int, vps []VP, hitlist []int) *Selector {
+	s := &Selector{
+		G:            g,
+		Metro:        metro,
+		Members:      members,
+		Index:        make(map[int]int, len(members)),
+		vps:          vps,
+		hitlist:      map[int]bool{},
+		penalty:      map[[2]int]map[int]float64{},
+		entryPenalty: map[[2]int]float64{},
+		explored:     map[[2]int]bool{},
+		vpScore:      map[vpAS]*counter{},
+		vpCats:       map[int]map[int][]VP{},
+		vpKeys:       map[int][]int{},
+		tgtCats:      map[int]map[int][]Target{},
+		tgtKeys:      map[int][]int{},
+	}
+	for i, as := range members {
+		s.Index[as] = i
+	}
+	for _, t := range hitlist {
+		s.hitlist[t] = true
+	}
+	// Informed default prior encoding what the paper's bootstrap phase
+	// (§3.3.2) discovers: traceroutes from vantage points inside (or in
+	// the customer cone of) the near-side AS, geographically close to the
+	// metro, are far more likely to traverse the target interconnection;
+	// probes elsewhere almost never do. The prior is soft (6 pseudo
+	// trials) so per-metro evidence quickly dominates.
+	for id := range s.stratSucc {
+		st := StrategyFromID(id)
+		p := 0.75 *
+			[...]float64{1.0, 0.65, 0.4, 0.25}[st.VPGeo] *
+			[...]float64{1.0, 0.6, 0.06}[st.VPTop] *
+			[...]float64{1.0, 0.75, 0.55, 0.4}[st.TgtGeo] *
+			[...]float64{1.0, 0.55, 0.9}[st.TgtTop]
+		s.stratSucc[id] = p * 4
+		s.stratTrial[id] = 4
+	}
+	return s
+}
+
+// InitPriors seeds the strategy statistics from success rates learned at
+// other metros (the hierarchical partial-pooling prior of Appx. D.6).
+// weight is the pseudo-trial count given to the prior.
+func (s *Selector) InitPriors(prior [NumStrategies]float64, weight float64) {
+	for i := range s.stratSucc {
+		s.stratSucc[i] = prior[i]*weight + 1
+		s.stratTrial[i] = weight + 6
+	}
+}
+
+// StrategyRates exports the current per-strategy success estimates, to be
+// pooled into priors for new metros.
+func (s *Selector) StrategyRates() [NumStrategies]float64 {
+	var out [NumStrategies]float64
+	for i := range out {
+		out[i] = s.stratSucc[i] / s.stratTrial[i]
+	}
+	return out
+}
+
+// BootstrapPlan samples up to perStrategy concrete measurements for every
+// strategy that has available (vantage point, target) pairs, drawn from
+// random member entries. Running the plan and reporting outcomes
+// calibrates the initial per-strategy success probabilities (§3.3.2
+// "Initial Estimation of P_m").
+func (s *Selector) BootstrapPlan(perStrategy, maxEntriesScanned int, rng *rand.Rand) []Measurement {
+	n := len(s.Members)
+	if n < 2 {
+		return nil
+	}
+	counts := make([]int, NumStrategies)
+	var plan []Measurement
+	for scanned := 0; scanned < maxEntriesScanned; scanned++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		asI, asJ := s.Members[i], s.Members[j]
+		vcats := s.vpCategories(asI)
+		tcats := s.targetsFor(asJ)
+		for _, vkey := range sortedKeys(vcats) {
+			vps := vcats[vkey]
+			for _, tkey := range sortedKeys(tcats) {
+				tgts := tcats[tkey]
+				strat := Strategy{
+					VPGeo:  asgraph.GeoScope(vkey / int(numVPTopo)),
+					VPTop:  VPTopo(vkey % int(numVPTopo)),
+					TgtGeo: asgraph.GeoScope(tkey / int(numTgtTopo)),
+					TgtTop: TgtTopo(tkey % int(numTgtTopo)),
+				}
+				id := strat.ID()
+				if counts[id] >= perStrategy {
+					continue
+				}
+				counts[id]++
+				plan = append(plan, Measurement{
+					VP:     vps[rng.Intn(len(vps))],
+					Target: tgts[rng.Intn(len(tgts))],
+					LinkI:  asI, LinkJ: asJ,
+					Strat: strat,
+					P:     s.baseRate(id),
+				})
+			}
+		}
+	}
+	return plan
+}
+
+// sortedKeys returns the map's keys in increasing order.
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// vpTopoOf categorizes a vantage point relative to AS i.
+func (s *Selector) vpTopoOf(vp VP, i int) VPTopo {
+	if vp.AS == i {
+		return VPInAS
+	}
+	if s.G.InCone(vp.AS, i) {
+		return VPInCone
+	}
+	return VPOutside
+}
+
+// vpCategories returns the vantage points grouped by (geo, topo) category
+// for member AS i, cached.
+func (s *Selector) vpCategories(i int) map[int][]VP {
+	if c, ok := s.vpCats[i]; ok {
+		return c
+	}
+	c := map[int][]VP{}
+	for _, vp := range s.vps {
+		geo := s.G.ScopeOfMetros(vp.Metro, s.Metro)
+		topo := s.vpTopoOf(vp, i)
+		key := int(geo)*int(numVPTopo) + int(topo)
+		c[key] = append(c[key], vp)
+	}
+	s.vpCats[i] = c
+	s.vpKeys[i] = sortedKeys(c)
+	return c
+}
+
+// targetsFor enumerates candidate targets for far-side AS j, grouped by
+// (geo, topo) category. Targets outside j's customer cone are not
+// considered (§3.3.2); the AdjIXP category holds targets in j at the metro
+// when j is a member of an IXP there.
+func (s *Selector) targetsFor(j int) map[int][]Target {
+	if c, ok := s.tgtCats[j]; ok {
+		return c
+	}
+	out := map[int][]Target{}
+	add := func(t Target, topo TgtTopo) {
+		geo := s.G.ScopeOfMetros(t.Metro, s.Metro)
+		key := int(geo)*int(numTgtTopo) + int(topo)
+		out[key] = append(out[key], t)
+	}
+	if s.hitlist[j] {
+		for _, m := range s.G.ASes[j].Metros {
+			add(Target{AS: j, Metro: m}, TgtInAS)
+			if m == s.Metro {
+				for _, ix := range s.G.ASes[j].IXPs {
+					if s.G.IXPs[ix].Metro == s.Metro {
+						add(Target{AS: j, Metro: m}, TgtAdjIXP)
+						break
+					}
+				}
+			}
+		}
+	}
+	// Direct customers stand in for the full cone (keeps enumeration
+	// bounded; deeper cone members add little signal).
+	for _, c := range s.G.Customers[j] {
+		if !s.hitlist[c] {
+			continue
+		}
+		for _, m := range s.G.ASes[c].Metros {
+			add(Target{AS: c, Metro: m}, TgtInCone)
+		}
+	}
+	s.tgtCats[j] = out
+	s.tgtKeys[j] = sortedKeys(out)
+	return out
+}
+
+// baseRate returns the prior-informed success rate of a strategy.
+func (s *Selector) baseRate(id int) float64 {
+	return s.stratSucc[id] / s.stratTrial[id]
+}
+
+// EntryProb returns P_ijm: the best estimated probability, over all
+// strategies with available (vp, target) pairs, that a traceroute fills
+// entry (i, j) — member-row indices. The second result is the best
+// concrete measurement achieving it.
+func (s *Selector) EntryProb(i, j int, rng *rand.Rand) (float64, *Measurement) {
+	asI, asJ := s.Members[i], s.Members[j]
+	bestP := 0.0
+	bestVKey, bestTKey := -1, -1
+	var bestStrat Strategy
+	vcats := s.vpCategories(asI)
+	tcats := s.targetsFor(asJ)
+	vkeys, tkeys := s.vpKeys[asI], s.tgtKeys[asJ]
+	entryPen := s.entryPenaltyFor(i, j)
+	pens := s.penalty[[2]int{i, j}]
+	for _, vkey := range vkeys {
+		vps := vcats[vkey]
+		for _, tkey := range tkeys {
+			tgts := tcats[tkey]
+			strat := Strategy{
+				VPGeo:  asgraph.GeoScope(vkey / int(numVPTopo)),
+				VPTop:  VPTopo(vkey % int(numVPTopo)),
+				TgtGeo: asgraph.GeoScope(tkey / int(numTgtTopo)),
+				TgtTop: TgtTopo(tkey % int(numTgtTopo)),
+			}
+			id := strat.ID()
+			pen := entryPen
+			if pens != nil {
+				if p, ok := pens[id]; ok {
+					pen *= p
+				}
+			}
+			avail := float64(len(vps) * len(tgts))
+			boost := avail / (avail + 3)
+			// The pool-size boost is a mild tie-breaker (§3.3.2), not a
+			// driver: the learned per-strategy rate dominates.
+			p := s.baseRate(id) * pen * (0.85 + 0.15*boost)
+			if p > bestP {
+				bestP = p
+				bestVKey, bestTKey = vkey, tkey
+				bestStrat = strat
+			}
+		}
+	}
+	if bestVKey < 0 {
+		return 0, nil
+	}
+	// Materialize the concrete measurement only for the winning category.
+	vps := vcats[bestVKey]
+	tgts := tcats[bestTKey]
+	best := &Measurement{
+		VP:     s.pickVP(vps, asI, rng),
+		Target: tgts[rng.Intn(len(tgts))],
+		LinkI:  asI, LinkJ: asJ,
+		Strat: bestStrat, P: bestP,
+	}
+	return bestP, best
+}
+
+func (s *Selector) penaltyFor(i, j, strat int) float64 {
+	if m := s.penalty[[2]int{i, j}]; m != nil {
+		if p, ok := m[strat]; ok {
+			return p
+		}
+	}
+	return 1
+}
+
+func (s *Selector) entryPenaltyFor(i, j int) float64 {
+	if i > j {
+		i, j = j, i
+	}
+	if p, ok := s.entryPenalty[[2]int{i, j}]; ok {
+		return p
+	}
+	return 1
+}
+
+// pickVP selects a vantage point with probability proportional to its
+// informativeness score for AS i (biased random, §3.3.2).
+func (s *Selector) pickVP(vps []VP, asI int, rng *rand.Rand) VP {
+	if len(vps) == 1 {
+		return vps[0]
+	}
+	// Large categories (hundreds of "elsewhere" probes) are sampled: a
+	// biased pick among 24 random candidates behaves like the full scan
+	// at a fraction of the cost.
+	if len(vps) > 24 {
+		sample := make([]VP, 24)
+		for k := range sample {
+			sample[k] = vps[rng.Intn(len(vps))]
+		}
+		vps = sample
+	}
+	weights := make([]float64, len(vps))
+	total := 0.0
+	for k, vp := range vps {
+		w := 0.2
+		if c, ok := s.vpScore[vpAS{vp, asI}]; ok && c.total > 0 {
+			w += c.good / c.total
+		}
+		weights[k] = w
+		total += w
+	}
+	r := rng.Float64() * total
+	for k, w := range weights {
+		r -= w
+		if r <= 0 {
+			return vps[k]
+		}
+	}
+	return vps[len(vps)-1]
+}
+
+// SelectBatch chooses up to size measurements using ε-greedy
+// exploitation/exploration over rows that still need entries: need[i] is
+// the number of additional entries row i requires (rows with need <= 0 are
+// skipped). Fill state is updated optimistically within the batch.
+func (s *Selector) SelectBatch(size int, eps float64, rowFill []int, need []int, has func(i, j int) bool, rng *rand.Rand) []Measurement {
+	fill := append([]int(nil), rowFill...)
+	pending := map[[2]int]bool{}
+	explorePerRow := map[int]int{}
+	var out []Measurement
+	for len(out) < size {
+		explore := rng.Float64() < eps
+		var m *Measurement
+		if explore {
+			m = s.selectExplore(fill, need, has, pending, explorePerRow, rng)
+		}
+		if m == nil {
+			m = s.selectExploit(fill, need, has, pending, rng)
+		}
+		if m == nil {
+			break // nothing measurable remains
+		}
+		i, j := s.Index[m.LinkI], s.Index[m.LinkJ]
+		pending[[2]int{i, j}] = true
+		pending[[2]int{j, i}] = true
+		fill[i]++
+		fill[j]++
+		out = append(out, *m)
+	}
+	return out
+}
+
+// selectExploit picks the row with the fewest filled entries that has some
+// entry with P > 0.1, then the entry with the highest probability (§3.3.1).
+func (s *Selector) selectExploit(fill, need []int, has func(i, j int) bool, pending map[[2]int]bool, rng *rand.Rand) *Measurement {
+	n := len(s.Members)
+	order := rowsByFill(fill, need, rng)
+	for _, i := range order {
+		bestP := 0.1
+		var best *Measurement
+		for j := 0; j < n; j++ {
+			if j == i || has(i, j) || pending[[2]int{i, j}] {
+				continue
+			}
+			// A link can be measured from either side: probe near i
+			// toward j, or near j toward i. Take the better orientation.
+			p, m := s.EntryProb(i, j, rng)
+			if p2, m2 := s.EntryProb(j, i, rng); p2 > p {
+				p, m = p2, m2
+			}
+			if p > bestP && m != nil {
+				bestP = p
+				best = m
+				best.P = p
+			}
+		}
+		if best != nil {
+			return best
+		}
+	}
+	return nil
+}
+
+// selectExplore picks the (i, j) minimizing fill[i]+fill[j] that has any
+// possible measurement, capped at one exploration per row per batch and
+// one per entry ever (§3.3.1).
+func (s *Selector) selectExplore(fill, need []int, has func(i, j int) bool, pending map[[2]int]bool, perRow map[int]int, rng *rand.Rand) *Measurement {
+	n := len(s.Members)
+	type cand struct{ i, j, sum int }
+	var cands []cand
+	for i := 0; i < n; i++ {
+		if need[i] <= 0 || perRow[i] >= 1 {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if has(i, j) || pending[[2]int{i, j}] || s.explored[[2]int{i, j}] {
+				continue
+			}
+			cands = append(cands, cand{i, j, fill[i] + fill[j]})
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].sum != cands[b].sum {
+			return cands[a].sum < cands[b].sum
+		}
+		if cands[a].i != cands[b].i {
+			return cands[a].i < cands[b].i
+		}
+		return cands[a].j < cands[b].j
+	})
+	// Walk candidates in order until one has a feasible measurement,
+	// trying both orientations and keeping the better one.
+	for _, c := range cands {
+		p1, m := s.EntryProb(c.i, c.j, rng)
+		if p2, m2 := s.EntryProb(c.j, c.i, rng); m == nil || (m2 != nil && p2 > p1) {
+			m = m2
+		}
+		if m != nil {
+			m.Exploration = true
+			s.explored[[2]int{c.i, c.j}] = true
+			perRow[c.i]++
+			perRow[c.j]++
+			return m
+		}
+	}
+	return nil
+}
+
+// rowsByFill orders member rows that still need entries by increasing fill
+// count, breaking ties randomly (§3.3.1).
+func rowsByFill(fill, need []int, rng *rand.Rand) []int {
+	var rows []int
+	for i := range fill {
+		if need[i] > 0 {
+			rows = append(rows, i)
+		}
+	}
+	rng.Shuffle(len(rows), func(a, b int) { rows[a], rows[b] = rows[b], rows[a] })
+	sort.SliceStable(rows, func(a, b int) bool { return fill[rows[a]] < fill[rows[b]] })
+	return rows
+}
+
+// Report feeds back whether a measurement was informative for its target
+// entry, updating strategy statistics, per-entry penalties and VP scores.
+func (s *Selector) Report(m Measurement, informative bool) {
+	id := m.Strat.ID()
+	s.stratTrial[id]++
+	if informative {
+		s.stratSucc[id]++
+	}
+	i, okI := s.Index[m.LinkI]
+	j, okJ := s.Index[m.LinkJ]
+	if okI && okJ {
+		key := [2]int{i, j}
+		a, b := i, j
+		if a > b {
+			a, b = b, a
+		}
+		if informative {
+			if m := s.penalty[key]; m != nil {
+				delete(m, id)
+			}
+			delete(s.entryPenalty, [2]int{a, b})
+		} else {
+			m := s.penalty[key]
+			if m == nil {
+				m = map[int]float64{}
+				s.penalty[key] = m
+			}
+			m[id] = s.penaltyFor(i, j, id) * 0.5
+			s.entryPenalty[[2]int{a, b}] = s.entryPenaltyFor(i, j) * 0.7
+		}
+	}
+	c := s.vpScore[vpAS{m.VP, m.LinkI}]
+	if c == nil {
+		c = &counter{}
+		s.vpScore[vpAS{m.VP, m.LinkI}] = c
+	}
+	c.total++
+	if informative {
+		c.good++
+	}
+}
+
+// PoolPriors averages strategy rates from several metros into a single
+// prior (the complete-pooling step at the top of the hierarchical model;
+// metro-level deviations are learned once measurements arrive).
+func PoolPriors(rates ...[NumStrategies]float64) [NumStrategies]float64 {
+	var out [NumStrategies]float64
+	if len(rates) == 0 {
+		return out
+	}
+	for _, r := range rates {
+		for i := range out {
+			out[i] += r[i]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(rates))
+		out[i] = math.Min(1, math.Max(0, out[i]))
+	}
+	return out
+}

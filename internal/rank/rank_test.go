@@ -1,0 +1,199 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"metascritic/internal/mat"
+)
+
+// oracleWorld is the controlled environment of Appx. E.5: a generated
+// symmetric low-rank matrix, a visibility mask, and an oracle that reveals
+// entries with a per-entry probability when asked.
+type oracleWorld struct {
+	truth *mat.Matrix
+	E     *mat.Matrix
+	mask  *mat.Mask
+	prob  *mat.Matrix
+	rng   *rand.Rand
+	asked int
+}
+
+func newOracleWorld(n, r int, noise float64, visible float64, seed int64) *oracleWorld {
+	rng := rand.New(rand.NewSource(seed))
+	f := mat.New(n, r)
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64() / math.Sqrt(float64(r))
+	}
+	truth := mat.Mul(f, f.T())
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := math.Tanh(truth.At(i, j)) + noise*rng.NormFloat64()
+			if v > 1 {
+				v = 1
+			}
+			if v < -1 {
+				v = -1
+			}
+			truth.Set(i, j, v)
+			truth.Set(j, i, v)
+		}
+	}
+	w := &oracleWorld{
+		truth: truth,
+		E:     mat.New(n, n),
+		mask:  mat.NewMask(n),
+		prob:  mat.New(n, n),
+		rng:   rng,
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w.prob.Set(i, j, 0.3+0.7*rng.Float64())
+			w.prob.Set(j, i, w.prob.At(i, j))
+			if rng.Float64() < visible {
+				w.reveal(i, j)
+			}
+		}
+	}
+	return w
+}
+
+func (w *oracleWorld) reveal(i, j int) {
+	w.E.Set(i, j, w.truth.At(i, j))
+	w.E.Set(j, i, w.truth.At(j, i))
+	w.mask.Set(i, j)
+}
+
+// topUp reveals entries for needy rows with the oracle's probabilities.
+// Needy rows are overshot by the holdout size: real traceroute batches
+// reveal many untargeted entries too, so rows topped to r still hold more
+// than r after the holdout removal.
+func (w *oracleWorld) topUp(need []int) int {
+	n := w.mask.N()
+	added := 0
+	for i := range need {
+		if need[i] > 0 {
+			need[i] += 3
+		}
+		tries := 0
+		for need[i] > 0 && tries < 4*need[i]+8 {
+			j := w.rng.Intn(n)
+			tries++
+			if j == i || w.mask.Has(i, j) {
+				continue
+			}
+			w.asked++
+			if w.rng.Float64() < w.prob.At(i, j) {
+				w.reveal(i, j)
+				need[i]--
+				added++
+			}
+		}
+	}
+	return added
+}
+
+func TestEstimateFindsTrueRankControlled(t *testing.T) {
+	trueRank := 5
+	// Start with sparse visibility so the loop must actually issue
+	// targeted oracle queries to top rows up.
+	w := newOracleWorld(70, trueRank, 0.02, 0.18, 1)
+	cfg := DefaultConfig()
+	cfg.MaxRank = 20
+	cfg.Iterations = 15
+	cfg.FeatureWeight = 0
+	res := Estimate(w.E, w.mask, nil, w.topUp, cfg)
+	if res.Rank < trueRank-2 || res.Rank > trueRank+4 {
+		t.Fatalf("estimated rank %d, want near %d (history %+v)", res.Rank, trueRank, res.History)
+	}
+	if w.asked == 0 {
+		t.Fatalf("no oracle queries issued")
+	}
+	if len(res.History) < trueRank {
+		t.Fatalf("history too short: %d", len(res.History))
+	}
+}
+
+func TestEstimateStopsEarlyOnPlateau(t *testing.T) {
+	w := newOracleWorld(50, 3, 0.02, 0.3, 2)
+	cfg := DefaultConfig()
+	cfg.MaxRank = 40
+	cfg.Patience = 2
+	cfg.FeatureWeight = 0
+	res := Estimate(w.E, w.mask, nil, w.topUp, cfg)
+	if len(res.History) >= 40 {
+		t.Fatalf("loop should stop well before MaxRank, ran %d rounds", len(res.History))
+	}
+}
+
+func TestEstimateMonotoneRankHistory(t *testing.T) {
+	w := newOracleWorld(40, 4, 0.05, 0.3, 3)
+	res := Estimate(w.E, w.mask, nil, w.topUp, DefaultConfig())
+	for k, st := range res.History {
+		if st.Rank != k+1 {
+			t.Fatalf("history ranks not sequential: %+v", res.History)
+		}
+		if st.Evaluated < 0 {
+			t.Fatalf("negative evaluated count")
+		}
+	}
+}
+
+func TestEstimateNilTopUp(t *testing.T) {
+	// Without a measurement layer the loop still works on what is
+	// observed.
+	w := newOracleWorld(40, 3, 0.02, 0.5, 4)
+	cfg := DefaultConfig()
+	cfg.MaxRank = 10
+	cfg.FeatureWeight = 0
+	res := Estimate(w.E, w.mask, nil, nil, cfg)
+	if res.Rank < 1 || res.Rank > 10 {
+		t.Fatalf("rank %d out of range", res.Rank)
+	}
+}
+
+func TestEstimateDegenerateConfig(t *testing.T) {
+	w := newOracleWorld(20, 2, 0.02, 0.5, 5)
+	res := Estimate(w.E, w.mask, nil, nil, Config{})
+	if res.Rank != 1 || len(res.History) == 0 {
+		t.Fatalf("degenerate config: %+v", res)
+	}
+}
+
+func TestSampleHoldoutProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 20
+	mask := mat.NewMask(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				mask.Set(i, j)
+			}
+		}
+	}
+	before := mask.Count()
+	hold := sampleHoldout(mask, 3, rng)
+	if mask.Count() != before {
+		t.Fatalf("sampleHoldout must not mutate the mask")
+	}
+	seen := map[[2]int]bool{}
+	for _, h := range hold {
+		if h[0] >= h[1] {
+			t.Fatalf("holdout entry not canonical: %v", h)
+		}
+		if !mask.Has(h[0], h[1]) {
+			t.Fatalf("holdout entry not observed")
+		}
+		if seen[h] {
+			t.Fatalf("duplicate holdout entry %v", h)
+		}
+		seen[h] = true
+	}
+	// Sparse rows (<= k entries) are never drained: remove-and-check.
+	sparse := mat.NewMask(5)
+	sparse.Set(0, 1)
+	if got := sampleHoldout(sparse, 3, rng); len(got) != 0 {
+		t.Fatalf("sparse rows should be spared, got %v", got)
+	}
+}

@@ -1,0 +1,83 @@
+// Package report renders experiment tables in exchange formats: GitHub
+// markdown (for EXPERIMENTS.md-style documents) and CSV (for plotting the
+// paper's figures with external tools).
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is the minimal shape report can render (matches eval.Table).
+type Table interface {
+	TitleText() string
+	HeaderRow() []string
+	DataRows() [][]string
+}
+
+// Markdown writes the table as a GitHub-flavored markdown table with its
+// title as a heading.
+func Markdown(w io.Writer, t Table) error {
+	if title := t.TitleText(); title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", title); err != nil {
+			return err
+		}
+	}
+	header := t.HeaderRow()
+	if len(header) == 0 {
+		return nil
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		b.WriteByte('|')
+		for _, c := range cells {
+			b.WriteByte(' ')
+			b.WriteString(escapeCell(c))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeRow(header); err != nil {
+		return err
+	}
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.DataRows() {
+		padded := make([]string, len(header))
+		copy(padded, row)
+		if err := writeRow(padded); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// CSV writes the table as CSV (header first, no title).
+func CSV(w io.Writer, t Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.HeaderRow()); err != nil {
+		return err
+	}
+	for _, row := range t.DataRows() {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func escapeCell(s string) string {
+	s = strings.ReplaceAll(s, "|", "\\|")
+	return strings.ReplaceAll(s, "\n", " ")
+}

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+type fakeTable struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+func (f fakeTable) TitleText() string    { return f.title }
+func (f fakeTable) HeaderRow() []string  { return f.header }
+func (f fakeTable) DataRows() [][]string { return f.rows }
+
+func TestMarkdown(t *testing.T) {
+	tbl := fakeTable{
+		title:  "Demo",
+		header: []string{"a", "b"},
+		rows:   [][]string{{"1", "x|y"}, {"2"}},
+	}
+	var buf bytes.Buffer
+	if err := Markdown(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### Demo", "| a | b |", "| --- | --- |", "x\\|y", "| 2 |  |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Empty header renders nothing but the title.
+	buf.Reset()
+	if err := Markdown(&buf, fakeTable{title: "T"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "### T") {
+		t.Fatalf("title missing")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := fakeTable{
+		header: []string{"a", "b"},
+		rows:   [][]string{{"1", "two, three"}},
+	}
+	var buf bytes.Buffer
+	if err := CSV(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a,b\n") || !strings.Contains(out, `"two, three"`) {
+		t.Fatalf("csv wrong: %q", out)
+	}
+}

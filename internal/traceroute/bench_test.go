@@ -1,0 +1,19 @@
+package traceroute
+
+import (
+	"testing"
+
+	"metascritic/internal/netsim"
+)
+
+func BenchmarkRunTarget(b *testing.B) {
+	w := netsim.Generate(netsim.Config{Seed: 1, Metros: netsim.DefaultMetros(0.2)})
+	e := NewEngine(w)
+	probes := w.Probes
+	n := w.G.N()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := probes[i%len(probes)]
+		e.RunTarget(p.AS, p.Metro, (p.AS+i)%n, p.Metro)
+	}
+}

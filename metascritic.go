@@ -1,0 +1,465 @@
+// Package metascritic is a from-scratch Go reproduction of "metAScritic:
+// Reframing AS-Level Topology Discovery as a Recommendation System"
+// (Salamatian et al., ACM IMC 2024).
+//
+// The package ties the system's modules together exactly as Fig. 2 of the
+// paper describes: seed an estimated connectivity matrix E_m from public
+// traceroutes, iteratively estimate the effective rank of the metro's true
+// connectivity matrix while issuing targeted traceroutes (selected by the
+// exploitation/exploration strategy machinery over 144 measurement
+// strategies), complete the matrix with the hybrid ALS recommender, and
+// translate ratings into links via a threshold λ tuned for F-score.
+//
+// The Internet itself is replaced by the synthetic world of
+// internal/netsim (see DESIGN.md for the substitution map); everything the
+// inference pipeline touches is public information: traceroute hops, AS
+// relationships, footprints, PeeringDB-style features and probe locations.
+package metascritic
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"metascritic/internal/als"
+	"metascritic/internal/asgraph"
+	"metascritic/internal/mat"
+	"metascritic/internal/netsim"
+	"metascritic/internal/obs"
+	"metascritic/internal/probe"
+	"metascritic/internal/rank"
+	"metascritic/internal/stats"
+	"metascritic/internal/traceroute"
+)
+
+// Config controls one metro run.
+type Config struct {
+	// Epsilon is the exploration fraction ε of §3.3.1 (paper default 0.1).
+	Epsilon float64
+	// BatchSize is the number of traceroutes selected per batch.
+	BatchSize int
+	// MaxMeasurements caps the targeted traceroutes issued for the metro.
+	MaxMeasurements int
+	// NegPolicy selects the non-link inference conditions (§3.4 / E.7).
+	NegPolicy obs.NegativePolicy
+	// Rank configures the effective-rank estimation loop.
+	Rank rank.Config
+	// Priors optionally seeds strategy success rates from other metros
+	// (Appx. D.6); PriorWeight is its pseudo-trial mass.
+	Priors      *[probe.NumStrategies]float64
+	PriorWeight float64
+	// BootstrapPerStrategy is the number of calibration traceroutes run
+	// per measurement strategy before targeted selection begins (§3.3.2).
+	// When cross-metro Priors are provided, a fifth as many suffice
+	// (Appx. D.6 reports ~6x fewer).
+	BootstrapPerStrategy int
+	// Tune enables the hyperparameter grid search of Appx. D.4 before the
+	// final completion.
+	Tune bool
+	Seed int64
+}
+
+// DefaultConfig returns the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		Epsilon:              0.1,
+		BatchSize:            300,
+		MaxMeasurements:      40000,
+		NegPolicy:            obs.NegMetascritic,
+		Rank:                 rank.DefaultConfig(),
+		PriorWeight:          20,
+		BootstrapPerStrategy: 6,
+		Seed:                 1,
+	}
+}
+
+// Calibration records one targeted measurement's predicted informativeness
+// probability and its outcome (the data behind Fig. 4).
+type Calibration struct {
+	P           float64
+	Informative bool
+	FoundLink   bool // an existing link was revealed
+	FoundNon    bool // non-existence evidence was revealed
+	Exploration bool
+	// Measurement details, for analysis.
+	VP     probe.VP
+	Target probe.Target
+	LinkI  int
+	LinkJ  int
+	Strat  probe.Strategy
+}
+
+// Result is the output of running metAScritic on one metro.
+type Result struct {
+	Metro   int
+	Members []int
+	// Estimate is the measured matrix E_m after targeted tracerouting.
+	Estimate *obs.Estimate
+	// Ratings is the completed matrix C_m as continuous scores in [-1,1].
+	Ratings *mat.Matrix
+	// Rank is the estimated effective rank.
+	Rank int
+	// RankHistory traces the estimation loop (Fig. 10-style data).
+	RankHistory []rank.Step
+	// Threshold is the λ maximizing F-score on an internal split.
+	Threshold float64
+	// Measurements is the number of targeted traceroutes issued.
+	Measurements int
+	// Calibrations holds per-measurement probability/outcome records.
+	Calibrations []Calibration
+	// StrategyRates exports the learned per-strategy success rates for
+	// hierarchical initialization of other metros.
+	StrategyRates [probe.NumStrategies]float64
+	// Lambda/FeatureWeight actually used for the final completion.
+	Lambda        float64
+	FeatureWeight float64
+}
+
+// LinksAbove returns the member-index pairs whose rating is >= thr.
+func (r *Result) LinksAbove(thr float64) []asgraph.Pair {
+	var out []asgraph.Pair
+	n := len(r.Members)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Ratings.At(i, j) >= thr {
+				out = append(out, asgraph.Pair{A: r.Members[i], B: r.Members[j]})
+			}
+		}
+	}
+	return out
+}
+
+// Rating returns the completed score for graph ASes a and b (0 if either
+// is not a member).
+func (r *Result) Rating(a, b int) float64 {
+	i, ok1 := r.Estimate.Index[a]
+	j, ok2 := r.Estimate.Index[b]
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return r.Ratings.At(i, j)
+}
+
+// Pipeline runs metAScritic against a simulated world. The traceroute
+// store is shared across metros so that observations transfer
+// geographically (§3.4).
+type Pipeline struct {
+	World  *netsim.World
+	Engine *traceroute.Engine
+	Store  *obs.Store
+	// Hitlist is the set of ASes with probe-able targets (ISI hitlist
+	// analog).
+	Hitlist []int
+}
+
+// NewPipeline builds a pipeline over a world.
+func NewPipeline(w *netsim.World) *Pipeline {
+	e := traceroute.NewEngine(w)
+	// Hop resolution cross-checks the bdrmapit-style mapping against RTT
+	// geolocation from the metros that host probes (Appx. D.2).
+	probeMetros := map[int]bool{}
+	for _, pr := range w.Probes {
+		probeMetros[pr.Metro] = true
+	}
+	var metros []int
+	for m := range probeMetros {
+		metros = append(metros, m)
+	}
+	sort.Ints(metros)
+	p := &Pipeline{
+		World:  w,
+		Engine: e,
+		Store:  obs.NewStore(w.G, e.Reg.RefinedResolver(metros)),
+	}
+	// The hitlist is public knowledge of probe-able addresses: ASes that
+	// answer probes (the real system uses the responsiveness-ranked ISI
+	// hitlist).
+	for i, resp := range w.Responsive {
+		if resp {
+			p.Hitlist = append(p.Hitlist, i)
+		}
+	}
+	return p
+}
+
+// VPs converts the world's probes to selector vantage points.
+func (p *Pipeline) VPs() []probe.VP {
+	out := make([]probe.VP, len(p.World.Probes))
+	for i, pr := range p.World.Probes {
+		out[i] = probe.VP{AS: pr.AS, Metro: pr.Metro}
+	}
+	return out
+}
+
+// SeedPublicMeasurements simulates the public RIPE Atlas / Ark archives:
+// every probe traceroutes toward a random sample of destinations. These
+// traces seed E_m before any targeted measurement.
+func (p *Pipeline) SeedPublicMeasurements(perProbe int, rng *rand.Rand) int {
+	n := p.World.G.N()
+	count := 0
+	for _, pr := range p.World.Probes {
+		for k := 0; k < perProbe; k++ {
+			dst := rng.Intn(n)
+			if dst == pr.AS {
+				continue
+			}
+			p.Store.AddTrace(p.Engine.Run(pr.AS, pr.Metro, dst))
+			count++
+		}
+	}
+	return count
+}
+
+// BuildFeatures assembles the per-member feature matrix used by the hybrid
+// recommender: one-hot AS class, peering policy, traffic profile and
+// continent, plus log-scaled eyeballs, cone size, footprint size and
+// address space (Appx. C / D.3).
+func BuildFeatures(g *asgraph.Graph, members []int) *mat.Matrix {
+	nClass := int(asgraph.NumClasses)
+	nPol := int(asgraph.NumPolicies)
+	nProf := int(asgraph.NumProfiles)
+	nCont := len(g.Continents)
+	cols := nClass + nPol + nProf + nCont + 4
+	f := mat.New(len(members), cols)
+	for r, ai := range members {
+		a := g.ASes[ai]
+		c := 0
+		f.Set(r, c+int(a.Class), 1)
+		c += nClass
+		f.Set(r, c+int(a.Policy), 1)
+		c += nPol
+		f.Set(r, c+int(a.Traffic), 1)
+		c += nProf
+		cont := g.Countries[a.Country].Continent
+		f.Set(r, c+cont, 1)
+		c += nCont
+		f.Set(r, c, math.Log1p(float64(a.Eyeballs)))
+		f.Set(r, c+1, math.Log1p(float64(g.ConeSize(ai))))
+		f.Set(r, c+2, float64(len(a.Metros)))
+		f.Set(r, c+3, math.Log1p(float64(a.AddrSpace)))
+	}
+	return f
+}
+
+// RunMetro executes the full metAScritic loop (Fig. 2) on one metro.
+func (p *Pipeline) RunMetro(metro int, cfg Config) *Result {
+	g := p.World.G
+	members := g.Metros[metro].Members
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	sel := probe.NewSelector(g, metro, members, p.VPs(), p.Hitlist)
+	boot := cfg.BootstrapPerStrategy
+	if cfg.Priors != nil {
+		sel.InitPriors(*cfg.Priors, cfg.PriorWeight)
+		boot = (boot + 4) / 5 // transferred priors need far fewer samples
+	}
+
+	res := &Result{Metro: metro, Members: members}
+
+	// Working estimate; refreshed in place as measurements land.
+	est := p.Store.Estimate(metro, members, cfg.NegPolicy)
+	features := BuildFeatures(g, members)
+	budget := cfg.MaxMeasurements
+
+	// Bootstrap phase (§3.3.2): calibrate per-strategy success rates with
+	// a few random measurements per strategy before targeted selection.
+	if boot > 0 && budget > 0 {
+		plan := sel.BootstrapPlan(boot, 600, rng)
+		for _, m := range plan {
+			if budget <= 0 {
+				break
+			}
+			budget--
+			res.Measurements++
+			tr := p.Engine.RunTarget(m.VP.AS, m.VP.Metro, m.Target.AS, m.Target.Metro)
+			findings := p.Store.AddTrace(tr)
+			informative := false
+			want := asgraph.MakePair(m.LinkI, m.LinkJ)
+			for _, f := range findings {
+				if f.Pair == want {
+					informative = true
+					break
+				}
+			}
+			sel.Report(m, informative)
+			// Recorded as exploration-like: Fig. 4 calibration excludes
+			// bootstrap probes since they are not P-selected.
+			res.Calibrations = append(res.Calibrations, Calibration{
+				P: m.P, Informative: informative, Exploration: true,
+				VP: m.VP, Target: m.Target, LinkI: m.LinkI, LinkJ: m.LinkJ, Strat: m.Strat,
+			})
+		}
+		fresh := p.Store.Estimate(metro, members, cfg.NegPolicy)
+		copy(est.E.Data, fresh.E.Data)
+		est.Mask.CopyFrom(fresh.Mask)
+	}
+
+	refresh := func() {
+		fresh := p.Store.Estimate(metro, members, cfg.NegPolicy)
+		copy(est.E.Data, fresh.E.Data)
+		est.Mask.CopyFrom(fresh.Mask)
+	}
+
+	topUp := func(need []int) int {
+		before := est.Mask.Count()
+		// Translate "additional entries" into absolute per-row targets so
+		// any measurement that fills a needy row counts, regardless of
+		// which entry we were aiming at. Targets are overshot by the
+		// holdout size: the rank loop removes HoldoutPerRow entries per
+		// row when scoring, so rows topped to exactly r would drop back
+		// below it.
+		target := make([]int, len(need))
+		for i := range need {
+			if need[i] > 0 {
+				target[i] = est.Mask.RowCount(i) + need[i] + cfg.Rank.HoldoutPerRow
+			}
+		}
+		stale := 0
+		for round := 0; round < 16 && budget > 0; round++ {
+			cur := make([]int, len(need))
+			remaining := 0
+			for i := range target {
+				if d := target[i] - est.Mask.RowCount(i); d > 0 {
+					cur[i] = d
+					remaining += d
+				}
+			}
+			if remaining == 0 {
+				break
+			}
+			size := cfg.BatchSize
+			if size > budget {
+				size = budget
+			}
+			countBefore := est.Mask.Count()
+			batch := sel.SelectBatch(size, cfg.Epsilon, est.RowFill(), cur, est.Mask.Has, rng)
+			if len(batch) == 0 {
+				break
+			}
+			for _, m := range batch {
+				if budget <= 0 {
+					break
+				}
+				budget--
+				res.Measurements++
+				tr := p.Engine.RunTarget(m.VP.AS, m.VP.Metro, m.Target.AS, m.Target.Metro)
+				findings := p.Store.AddTrace(tr)
+				informative, foundLink, foundNon := false, false, false
+				want := asgraph.MakePair(m.LinkI, m.LinkJ)
+				for _, f := range findings {
+					if f.Pair == want {
+						informative = true
+						if f.Direct {
+							foundLink = true
+						} else {
+							foundNon = true
+						}
+					}
+				}
+				sel.Report(m, informative)
+				res.Calibrations = append(res.Calibrations, Calibration{
+					P: m.P, Informative: informative,
+					FoundLink: foundLink, FoundNon: foundNon,
+					Exploration: m.Exploration,
+					VP:          m.VP, Target: m.Target,
+					LinkI: m.LinkI, LinkJ: m.LinkJ, Strat: m.Strat,
+				})
+			}
+			refresh()
+			if est.Mask.Count() == countBefore {
+				// A whole batch without a single new entry: give the
+				// elusive rows one more chance, then stop (the paper's
+				// "limit of successive traceroutes that fail").
+				stale++
+				if stale >= 2 {
+					break
+				}
+			} else {
+				stale = 0
+			}
+		}
+		return (est.Mask.Count() - before) / 2
+	}
+
+	// Rank estimation with integrated targeted measurement (§3.2 + §3.3).
+	rcfg := cfg.Rank
+	rcfg.Seed = cfg.Seed
+	rres := rank.Estimate(est.E, est.Mask, features, topUp, rcfg)
+	res.Rank = rres.Rank
+	res.RankHistory = rres.History
+	res.Estimate = est
+	res.StrategyRates = sel.StrategyRates()
+
+	// Final completion at the estimated rank.
+	opts := als.Options{
+		Rank:          rres.Rank,
+		Lambda:        rcfg.Lambda,
+		FeatureWeight: rcfg.FeatureWeight,
+		Iterations:    rcfg.Iterations + 5,
+		Seed:          cfg.Seed,
+	}
+	if cfg.Tune {
+		t := als.Tune(est.E, est.Mask, features, rres.Rank, rng)
+		opts.Lambda = t.Lambda
+		opts.FeatureWeight = t.FeatureWeight
+	}
+	res.Lambda = opts.Lambda
+	res.FeatureWeight = opts.FeatureWeight
+	res.Ratings = als.Complete(est.E, est.Mask, features, opts)
+
+	// λ search: hold out 20% of observed entries, score the completion on
+	// them, pick the F-maximizing threshold (§3.1).
+	res.Threshold = p.pickThreshold(est, features, opts, rng)
+	return res
+}
+
+// CompleteWith re-runs the hybrid completion with explicit hyperparameters
+// (used by the evaluation splits to replay a result's configuration over a
+// reduced mask).
+func CompleteWith(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, rank int, lambda, featureWeight float64) *mat.Matrix {
+	return als.Complete(E, mask, features, als.Options{
+		Rank:          rank,
+		Lambda:        lambda,
+		FeatureWeight: featureWeight,
+		Iterations:    15,
+		Seed:          1,
+	})
+}
+
+// pickThreshold runs an internal stratified holdout to choose λ.
+func (p *Pipeline) pickThreshold(est *obs.Estimate, features *mat.Matrix, opts als.Options, rng *rand.Rand) float64 {
+	var holdout [][2]int
+	work := est.Mask.Clone()
+	n := est.Mask.N()
+	for i := 0; i < n; i++ {
+		entries := est.Mask.RowEntries(i)
+		rng.Shuffle(len(entries), func(a, b int) { entries[a], entries[b] = entries[b], entries[a] })
+		k := len(entries) / 5
+		for _, j := range entries[:k] {
+			if i < j && work.Has(i, j) {
+				work.Unset(i, j)
+				holdout = append(holdout, [2]int{i, j})
+			}
+		}
+	}
+	if len(holdout) < 5 {
+		return 0.3 // not enough data; the paper's max-F operating point
+	}
+	completed := als.Complete(est.E, work, features, opts)
+	scores := make([]float64, len(holdout))
+	labels := make([]bool, len(holdout))
+	for k, h := range holdout {
+		scores[k] = completed.At(h[0], h[1])
+		labels[k] = est.E.At(h[0], h[1]) > 0
+	}
+	thr, _ := stats.BestF1Threshold(scores, labels)
+	// The paper operates λ in [0.1, 1] (Fig. 15); clamp the search result
+	// so degenerate holdouts cannot produce an accept-everything λ.
+	if thr < 0.1 {
+		thr = 0.1
+	}
+	if thr > 0.95 {
+		thr = 0.95
+	}
+	return thr
+}

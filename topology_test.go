@@ -1,0 +1,162 @@
+package metascritic
+
+import (
+	"math/rand"
+	"testing"
+
+	"metascritic/internal/asgraph"
+)
+
+// topoResult runs a small metro once per test binary.
+func topoResult(t *testing.T) (*Pipeline, *Result) {
+	t.Helper()
+	w := smallWorld(9)
+	p := NewPipeline(w)
+	rng := rand.New(rand.NewSource(1))
+	p.SeedPublicMeasurements(8, rng)
+	cfg := DefaultConfig()
+	cfg.BatchSize = 100
+	cfg.MaxMeasurements = 2500
+	cfg.Rank.MaxRank = 12
+	cfg.Rank.Iterations = 6
+	metro := w.G.MetroOfName("Singapore").Index
+	return p, p.RunMetro(metro, cfg)
+}
+
+func TestProgressiveTopologyOrdering(t *testing.T) {
+	_, res := topoResult(t)
+	prog := NewProgressiveTopology(res)
+	if prog.Len() == 0 {
+		t.Fatalf("no candidate links")
+	}
+	links := prog.AtConfidence(-1)
+	for k := 1; k < len(links); k++ {
+		if links[k].Rating > links[k-1].Rating+1e-12 {
+			t.Fatalf("links not sorted by rating")
+		}
+	}
+	// Measured links lead with rating 1.
+	if !links[0].Measured || links[0].Rating != 1 {
+		t.Fatalf("first link should be measured: %+v", links[0])
+	}
+}
+
+func TestProgressiveAtConfidence(t *testing.T) {
+	_, res := topoResult(t)
+	prog := NewProgressiveTopology(res)
+	hi := prog.AtConfidence(0.9)
+	lo := prog.AtConfidence(0.3)
+	if len(hi) > len(lo) {
+		t.Fatalf("lower threshold must include at least as many links")
+	}
+	for _, l := range hi {
+		if l.Rating < 0.9 {
+			t.Fatalf("link below requested confidence: %+v", l)
+		}
+	}
+	if got := prog.AtConfidence(2); len(got) != 0 {
+		t.Fatalf("impossible threshold should yield nothing")
+	}
+}
+
+func TestProgressiveSweep(t *testing.T) {
+	_, res := topoResult(t)
+	prog := NewProgressiveTopology(res)
+	prevThr := 2.0
+	prevLen := 0
+	calls := 0
+	prog.Sweep(func(thr float64, links []ScoredLink) bool {
+		calls++
+		if thr >= prevThr {
+			t.Fatalf("sweep thresholds not strictly decreasing")
+		}
+		if len(links) <= prevLen {
+			t.Fatalf("sweep link sets not growing")
+		}
+		prevThr = thr
+		prevLen = len(links)
+		return calls < 5 // early stop works
+	})
+	if calls != 5 && prog.Len() >= 5 {
+		t.Fatalf("sweep ignored early stop: %d calls", calls)
+	}
+}
+
+func TestProbabilisticTopology(t *testing.T) {
+	p, res := topoResult(t)
+	prob := p.NewProbabilisticTopology(res, 7)
+
+	// Calibration curve: thresholds increasing, precision monotone
+	// non-decreasing and within [0,1].
+	curve := prob.Curve()
+	if len(curve) < 5 {
+		t.Fatalf("curve too short")
+	}
+	for k, c := range curve {
+		if c.Precision < 0 || c.Precision > 1 {
+			t.Fatalf("precision out of range: %+v", c)
+		}
+		if k > 0 {
+			if c.Threshold <= curve[k-1].Threshold {
+				t.Fatalf("thresholds not increasing")
+			}
+			if c.Precision < curve[k-1].Precision {
+				t.Fatalf("precision not monotone after isotonic pass")
+			}
+		}
+	}
+
+	// Probabilities: measured links 1, others within the curve's range
+	// and increasing with rating.
+	links := prob.Links()
+	for _, l := range links {
+		pr := prob.Probability(l)
+		if pr < 0 || pr > 1 {
+			t.Fatalf("probability out of range")
+		}
+		if l.Measured && pr != 1 {
+			t.Fatalf("measured link probability %v", pr)
+		}
+	}
+	if prob.Probability(ScoredLink{Rating: -0.5}) != 0 {
+		t.Fatalf("negative rating should have probability 0")
+	}
+	hi := prob.Probability(ScoredLink{Rating: 0.95})
+	lo := prob.Probability(ScoredLink{Rating: 0.15})
+	if hi < lo {
+		t.Fatalf("probability should grow with rating: %v < %v", hi, lo)
+	}
+
+	// Expected links consistent with sampling.
+	exp := prob.ExpectedLinks()
+	if exp <= 0 || exp > float64(len(links)) {
+		t.Fatalf("expected links %v out of range", exp)
+	}
+	mean, std := prob.EstimateProperty(60, 1, func(ls []asgraph.Pair) float64 {
+		return float64(len(ls))
+	})
+	if mean < exp-4*std-3 || mean > exp+4*std+3 {
+		t.Fatalf("Monte-Carlo mean %v far from expectation %v (std %v)", mean, exp, std)
+	}
+
+	// Sampling is deterministic given a seed.
+	s1 := prob.Sample(rand.New(rand.NewSource(5)))
+	s2 := prob.Sample(rand.New(rand.NewSource(5)))
+	if len(s1) != len(s2) {
+		t.Fatalf("sampling not deterministic")
+	}
+	for k := range s1 {
+		if s1[k] != s2[k] {
+			t.Fatalf("sampling not deterministic at %d", k)
+		}
+	}
+}
+
+func TestEstimatePropertyDegenerate(t *testing.T) {
+	p, res := topoResult(t)
+	prob := p.NewProbabilisticTopology(res, 7)
+	mean, std := prob.EstimateProperty(0, 1, func(ls []asgraph.Pair) float64 { return 1 })
+	if mean != 1 || std != 0 {
+		t.Fatalf("single-sample estimate wrong: %v %v", mean, std)
+	}
+}

@@ -1,0 +1,25 @@
+package metascritic
+
+import (
+	"metascritic/internal/netsim"
+)
+
+// World is the synthetic Internet the library runs against (alias of the
+// internal simulator's world, re-exported so applications can generate and
+// inspect worlds through the public API).
+type World = netsim.World
+
+// WorldConfig configures world generation.
+type WorldConfig = netsim.Config
+
+// MetroSpec describes one metro to generate.
+type MetroSpec = netsim.MetroSpec
+
+// GenerateWorld builds a synthetic Internet. Zero-valued fields of cfg get
+// defaults; cfg.Metros defaults to the paper's six study metros plus
+// secondary metros (DefaultMetros(1.0)).
+func GenerateWorld(cfg WorldConfig) *World { return netsim.Generate(cfg) }
+
+// DefaultMetros returns the default metro set scaled by the given factor
+// (1.0 ≈ paper-like sizes; 0.1–0.3 for laptop-scale experiments).
+func DefaultMetros(scale float64) []MetroSpec { return netsim.DefaultMetros(scale) }
