@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test check bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-merge gate: vet everything, then run the engine
+# package (and the rest of the tree) under the race detector. The
+# engine runs metros concurrently over shared read-only state, so a
+# race-clean pass is part of its contract.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/engine/... ./...
+
+bench:
+	$(GO) test -bench RunAll -benchtime 2x -run '^$$' ./internal/engine/
+
+clean:
+	$(GO) clean ./...

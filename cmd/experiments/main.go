@@ -1,16 +1,22 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation against a synthetic Internet and prints them as text tables.
+// With -workers > 1 the six study-metro runs — the dominant cost of a full
+// sweep — are executed concurrently through the engine before the
+// experiment drivers read them from the harness cache.
 //
 // Usage:
 //
-//	experiments [-scale 0.2] [-seed 1] [-budget 8000] [-only Fig7,Table3]
+//	experiments [-scale 0.2] [-seed 1] [-budget 8000] [-only Fig7,Table3] [-workers 4]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"metascritic/experiments"
@@ -18,12 +24,23 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	scale := flag.Float64("scale", 0.2, "world scale (1.0 ≈ paper-like metro sizes)")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	budget := flag.Int("budget", 8000, "targeted traceroute budget per metro")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	mdOut := flag.String("md", "", "also write all tables as a markdown report to this file")
+	workers := flag.Int("workers", 1, "run the study metros concurrently on this many workers before the sweep")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -42,20 +59,34 @@ func main() {
 	fmt.Printf("world ready in %v: %d ASes, %d probes\n\n", time.Since(start).Round(time.Millisecond),
 		h.W.G.N(), len(h.W.Probes))
 
+	if *workers > 1 {
+		fmt.Printf("warming the metro cache on %d workers...\n", *workers)
+		stats, err := h.RunPrimariesParallel(ctx, *workers)
+		if err != nil {
+			return fmt.Errorf("parallel metro runs: %w", err)
+		}
+		fmt.Printf("metros ready in %v (utilization %.0f%%, %d measurements)\n\n",
+			stats.Wall.Round(time.Millisecond), 100*stats.Utilization(), stats.Measurements)
+	}
+
 	var md *os.File
 	if *mdOut != "" {
 		f, err := os.Create(*mdOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return fmt.Errorf("create markdown report %s: %w", *mdOut, err)
 		}
 		defer f.Close()
 		md = f
 		fmt.Fprintf(md, "# metAScritic experiment report (scale %.2f, seed %d)\n\n", *scale, *seed)
 	}
 
+	var firstErr error
 	show := func(id string, run func() *experiments.Table) {
-		if !should(id) {
+		if !should(id) || firstErr != nil {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			firstErr = fmt.Errorf("sweep cancelled: %w", err)
 			return
 		}
 		t0 := time.Now()
@@ -64,7 +95,7 @@ func main() {
 		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
 		if md != nil {
 			if err := report.Markdown(md, tbl); err != nil {
-				fmt.Fprintln(os.Stderr, "markdown:", err)
+				firstErr = fmt.Errorf("markdown for %s: %w", id, err)
 			}
 		}
 	}
@@ -100,5 +131,9 @@ func main() {
 	show("AblTransfer", func() *experiments.Table { _, t := experiments.AblationTransferability(h); return t })
 	show("AblPrior", func() *experiments.Table { _, t := experiments.AblationHierarchicalPrior(h); return t })
 
+	if firstErr != nil {
+		return firstErr
+	}
 	fmt.Printf("all experiments done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }

@@ -11,18 +11,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"metascritic"
 	"metascritic/internal/asgraph"
 	"metascritic/internal/bgp"
+	"metascritic/internal/engine"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hijackmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	scale := flag.Float64("scale", 0.2, "world scale")
 	seed := flag.Int64("seed", 1, "world seed")
 	victimMetro := flag.String("victim", "Sydney", "metro of the legitimate announcement")
@@ -31,24 +42,37 @@ func main() {
 	budget := flag.Int("budget", 6000, "traceroute budget per metro")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	w := metascritic.GenerateWorld(metascritic.WorldConfig{Seed: *seed, Metros: metascritic.DefaultMetros(*scale)})
 	g := w.G
 	vm := g.MetroOfName(*victimMetro)
 	am := g.MetroOfName(*attackerMetro)
 	if vm == nil || am == nil {
-		fmt.Fprintln(os.Stderr, "unknown metro name")
-		os.Exit(1)
+		return fmt.Errorf("unknown metro name (%q / %q)", *victimMetro, *attackerMetro)
 	}
 
-	// Run metAScritic on both metros.
+	// Run metAScritic on both metros concurrently through the engine.
 	pipe := metascritic.NewPipeline(w)
 	rng := rand.New(rand.NewSource(*seed))
 	pipe.SeedPublicMeasurements(10, rng)
 	cfg := metascritic.DefaultConfig()
 	cfg.MaxMeasurements = *budget
+	cfg.Seed = *seed
 	fmt.Printf("running metAScritic on %s and %s...\n", vm.Name, am.Name)
-	resV := pipe.RunMetro(vm.Index, cfg)
-	resA := pipe.RunMetro(am.Index, cfg)
+	metros := []int{vm.Index, am.Index}
+	if vm.Index == am.Index {
+		metros = metros[:1]
+	}
+	mr, err := engine.New(pipe).RunAll(ctx, engine.Config{
+		Base:   cfg,
+		Metros: metros,
+	})
+	if err != nil {
+		return fmt.Errorf("run metros %s and %s: %w", vm.Name, am.Name, err)
+	}
+	resV, resA := mr.Result(vm.Index), mr.Result(am.Index)
 
 	// Announcement seeds: a couple of transit providers at each metro.
 	seeds := func(m *asgraph.Metro) []int {
@@ -63,8 +87,7 @@ func main() {
 	}
 	vict, att := seeds(vm), seeds(am)
 	if len(vict) == 0 || len(att) == 0 {
-		fmt.Fprintln(os.Stderr, "no transit seeds at one of the metros")
-		os.Exit(1)
+		return fmt.Errorf("no transit seeds at metro %s or %s", vm.Name, am.Name)
 	}
 
 	// Ground truth.
@@ -143,6 +166,7 @@ func main() {
 	fmt.Printf("%-28s accuracy %.3f  predicted-hijacked %d\n", "+ metAScritic links:", accExt, hijExt)
 	fmt.Printf("\naccuracy delta from metAScritic links: %+.1f points\n", 100*(accExt-accPub))
 	fmt.Println("(single configuration; the Fig. 7 experiment aggregates 90 of them)")
+	return nil
 }
 
 func asns(g *asgraph.Graph, idx []int) []int {

@@ -1,24 +1,41 @@
-// Command metascritic runs the full metAScritic pipeline on one metro of a
-// generated synthetic Internet and prints the measured and inferred
-// topology with confidence scores.
+// Command metascritic runs the full metAScritic pipeline on one metro (or,
+// with -all, on every study metro concurrently) of a generated synthetic
+// Internet and prints the measured and inferred topology with confidence
+// scores. Ctrl-C cancels a run cleanly mid-batch.
 //
 // Usage:
 //
 //	metascritic [-metro Sydney] [-scale 0.25] [-seed 1] [-budget 20000] [-top 20]
+//	metascritic -all [-workers 4] [-share-priors=false] [-scale 0.25]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"runtime"
 	"sort"
+	"syscall"
 
 	"metascritic"
+	"metascritic/internal/engine"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "metascritic:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	metroName := flag.String("metro", "Sydney", "metro to run (e.g. Amsterdam, NewYork, SaoPaulo, Singapore, Sydney, Tokyo)")
+	all := flag.Bool("all", false, "run every study metro concurrently through the engine")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for -all")
+	sharePriors := flag.Bool("share-priors", true, "with -all, stream learned strategy priors from finished metros into later ones")
 	scale := flag.Float64("scale", 0.25, "world scale (1.0 ≈ paper-like metro sizes)")
 	seed := flag.Int64("seed", 1, "world and pipeline seed")
 	budget := flag.Int("budget", 20000, "targeted traceroute budget")
@@ -27,19 +44,13 @@ func main() {
 	jsonOut := flag.String("json", "", "write the inferred topology as JSON to this file ('-' for stdout)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	w := metascritic.GenerateWorld(metascritic.WorldConfig{
 		Seed:   *seed,
 		Metros: metascritic.DefaultMetros(*scale),
 	})
-	metro := w.G.MetroOfName(*metroName)
-	if metro == nil {
-		fmt.Fprintf(os.Stderr, "unknown metro %q; available:\n", *metroName)
-		for _, m := range w.G.Metros {
-			fmt.Fprintf(os.Stderr, "  %s (%d ASes)\n", m.Name, len(m.Members))
-		}
-		os.Exit(1)
-	}
-
 	p := metascritic.NewPipeline(w)
 	rng := rand.New(rand.NewSource(*seed))
 	n := p.SeedPublicMeasurements(*public, rng)
@@ -49,21 +60,97 @@ func main() {
 	cfg := metascritic.DefaultConfig()
 	cfg.MaxMeasurements = *budget
 	cfg.Seed = *seed
-	res := p.RunMetro(metro.Index, cfg)
 
-	fmt.Printf("\nmetro %s: %d member ASes\n", metro.Name, len(res.Members))
+	if *all {
+		return runAll(ctx, w, p, cfg, *workers, *sharePriors)
+	}
+
+	metro := w.G.MetroOfName(*metroName)
+	if metro == nil {
+		var names []string
+		for _, m := range w.G.Metros {
+			names = append(names, fmt.Sprintf("  %s (%d ASes)", m.Name, len(m.Members)))
+		}
+		return fmt.Errorf("unknown metro %q; available:\n%s", *metroName, joinLines(names))
+	}
+
+	res, err := p.RunMetroContext(ctx, metro.Index, cfg)
+	if err != nil {
+		return fmt.Errorf("run metro %s: %w", metro.Name, err)
+	}
+	printMetro(w, res)
+
+	if *jsonOut != "" {
+		if err := writeJSON(ctx, p, res, *jsonOut); err != nil {
+			return err
+		}
+	}
+	printTopLinks(w, res, *top)
+	return nil
+}
+
+// runAll drives the six study metros through the concurrent engine,
+// narrating progress events as workers pick metros up and finish them.
+func runAll(ctx context.Context, w *metascritic.World, p *metascritic.Pipeline, cfg metascritic.Config, workers int, sharePriors bool) error {
+	eng := engine.New(p)
+	events := make(chan engine.Event, 16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range events {
+			switch ev.Kind {
+			case engine.MetroStarted:
+				suffix := ""
+				if ev.UsedPriors {
+					suffix = " (seeded with pooled priors)"
+				}
+				fmt.Printf("[worker %d] %s started%s\n", ev.Worker, ev.Name, suffix)
+			case engine.MetroFinished:
+				fmt.Printf("[worker %d] %s finished in %v: %d measurements (%d bootstrap)\n",
+					ev.Worker, ev.Name, ev.Stats.Wall.Round(1e6), ev.Stats.Measurements, ev.Stats.BootstrapMeasurements)
+			case engine.MetroFailed:
+				fmt.Printf("[worker %d] %s failed: %v\n", ev.Worker, ev.Name, ev.Err)
+			}
+		}
+	}()
+
+	mr, err := eng.RunAll(ctx, engine.Config{
+		Base:        cfg,
+		Workers:     workers,
+		SharePriors: sharePriors,
+		Events:      events,
+	})
+	close(events)
+	<-done
+	if err != nil {
+		return fmt.Errorf("run all metros: %w", err)
+	}
+
+	fmt.Printf("\n%-12s %6s %6s %10s %8s %8s\n", "metro", "rank", "links", "measured", "boot", "λ")
+	for _, m := range mr.Metros {
+		res := mr.Results[m]
+		fmt.Printf("%-12s %6d %6d %10d %8d %8.2f\n",
+			w.G.Metros[m].Name, res.Rank, len(res.LinksAbove(res.Threshold)),
+			res.Measurements, res.BootstrapMeasurements, res.Threshold)
+	}
+	s := mr.Stats
+	fmt.Printf("\nbatch: %d metros on %d workers in %v (utilization %.0f%%)\n",
+		len(mr.Metros), s.Workers, s.Wall.Round(1e6), 100*s.Utilization())
+	fmt.Printf("measurements: %d total, %d bootstrap\n", s.Measurements, s.BootstrapMeasurements)
+	fmt.Printf("phase wall-clock (summed): bootstrap %v, rank loop %v, completion %v, threshold %v\n",
+		s.Phases.Bootstrap.Round(1e6), s.Phases.RankLoop.Round(1e6),
+		s.Phases.Completion.Round(1e6), s.Phases.Threshold.Round(1e6))
+	return nil
+}
+
+func printMetro(w *metascritic.World, res *metascritic.Result) {
+	fmt.Printf("\nmetro %s: %d member ASes\n", w.G.Metros[res.Metro].Name, len(res.Members))
 	fmt.Printf("estimated effective rank: %d\n", res.Rank)
-	fmt.Printf("targeted traceroutes issued: %d\n", res.Measurements)
+	fmt.Printf("targeted traceroutes issued: %d (%d bootstrap)\n", res.Measurements, res.BootstrapMeasurements)
 	fmt.Printf("observed entries in E_m: %d\n", res.Estimate.Mask.Count()/2)
 	fmt.Printf("F-maximizing threshold λ: %.2f\n", res.Threshold)
 
-	// Count measured vs inferred links at the chosen threshold.
 	measured, inferred := 0, 0
-	type scored struct {
-		a, b   int
-		rating float64
-	}
-	var inferredLinks []scored
 	nm := len(res.Members)
 	for i := 0; i < nm; i++ {
 		for j := i + 1; j < nm; j++ {
@@ -72,49 +159,77 @@ func main() {
 				measured++
 				continue
 			}
-			if r := res.Ratings.At(i, j); r >= res.Threshold {
+			if res.Ratings.At(i, j) >= res.Threshold {
 				inferred++
-				inferredLinks = append(inferredLinks, scored{res.Members[i], res.Members[j], r})
 			}
 		}
 	}
 	fmt.Printf("measured links: %d   inferred links (λ=%.2f): %d\n", measured, res.Threshold, inferred)
+}
 
-	if *jsonOut != "" {
-		exp := p.Export(res, res.Threshold)
-		var dst *os.File
-		if *jsonOut == "-" {
-			dst = os.Stdout
-		} else {
-			f, err := os.Create(*jsonOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+func writeJSON(ctx context.Context, p *metascritic.Pipeline, res *metascritic.Result, path string) error {
+	exp, err := p.ExportContext(ctx, res, res.Threshold)
+	if err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	dst := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", path, err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := exp.WriteJSON(dst); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if path != "-" {
+		fmt.Printf("\nJSON topology written to %s\n", path)
+	}
+	return nil
+}
+
+func printTopLinks(w *metascritic.World, res *metascritic.Result, top int) {
+	type scored struct {
+		a, b   int
+		rating float64
+	}
+	var inferredLinks []scored
+	nm := len(res.Members)
+	for i := 0; i < nm; i++ {
+		for j := i + 1; j < nm; j++ {
+			if v, ok := res.Estimate.Value(res.Members[i], res.Members[j]); ok && v > 0 {
+				continue
 			}
-			defer f.Close()
-			dst = f
-		}
-		if err := exp.WriteJSON(dst); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if *jsonOut != "-" {
-			fmt.Printf("\nJSON topology written to %s\n", *jsonOut)
+			if r := res.Ratings.At(i, j); r >= res.Threshold {
+				inferredLinks = append(inferredLinks, scored{res.Members[i], res.Members[j], r})
+			}
 		}
 	}
-
 	sort.Slice(inferredLinks, func(a, b int) bool { return inferredLinks[a].rating > inferredLinks[b].rating })
 	fmt.Printf("\ntop inferred links:\n")
 	for k, l := range inferredLinks {
-		if k >= *top {
+		if k >= top {
 			break
 		}
 		a, b := w.G.ASes[l.a], w.G.ASes[l.b]
 		truth := " "
-		if w.Truths[metro.Index].Has(l.a, l.b) {
+		if w.Truths[res.Metro].Has(l.a, l.b) {
 			truth = "✓" // ground truth (available only because this is a simulation)
 		}
 		fmt.Printf("  %s AS%-6d (%-10v) — AS%-6d (%-10v)  rating %.3f\n",
 			truth, a.ASN, a.Class, b.ASN, b.Class, l.rating)
 	}
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n"
+		}
+		out += l
+	}
+	return out
 }

@@ -52,6 +52,13 @@ type jsonWorld struct {
 }
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "worldgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	scale := flag.Float64("scale", 0.2, "world scale")
 	seed := flag.Int64("seed", 1, "generation seed")
 	truth := flag.Bool("truth", false, "include ground-truth links (large)")
@@ -109,8 +116,7 @@ func main() {
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return fmt.Errorf("create %s: %w", *out, err)
 		}
 		defer f.Close()
 		dst = f
@@ -118,7 +124,7 @@ func main() {
 	enc := json.NewEncoder(dst)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return fmt.Errorf("encode world JSON: %w", err)
 	}
+	return nil
 }

@@ -1,8 +1,11 @@
 package metascritic
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
+	"math"
 )
 
 // Export is the serializable form of a metro result: everything a
@@ -23,6 +26,37 @@ type ExportLink struct {
 	ASNB     int     `json:"asn_b"`
 	Rating   float64 `json:"rating"`
 	Measured bool    `json:"measured"`
+}
+
+// ExportContext converts a result into its serializable form, including
+// every link whose rating clears minRating (measured links always
+// included). Unlike Export it reports problems instead of exporting
+// garbage: a nil or incomplete result, a NaN cutoff, or a ratings matrix
+// that lost its symmetry invariant (C_m is symmetric by construction; an
+// asymmetric matrix means the result was corrupted in transit).
+func (p *Pipeline) ExportContext(ctx context.Context, res *Result, minRating float64) (Export, error) {
+	if err := ctx.Err(); err != nil {
+		return Export{}, fmt.Errorf("metascritic: export: %w", err)
+	}
+	if res == nil || res.Ratings == nil || res.Estimate == nil {
+		return Export{}, fmt.Errorf("metascritic: export: %w: result is nil or incomplete", ErrInvalidConfig)
+	}
+	if math.IsNaN(minRating) {
+		return Export{}, fmt.Errorf("metascritic: export: %w: minRating is NaN", ErrInvalidConfig)
+	}
+	if res.Metro < 0 || res.Metro >= len(p.World.G.Metros) {
+		return Export{}, fmt.Errorf("metascritic: export: %w: metro index %d out of range", ErrInvalidConfig, res.Metro)
+	}
+	n := len(res.Members)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := res.Ratings.At(i, j) - res.Ratings.At(j, i); d > 1e-9 || d < -1e-9 {
+				return Export{}, fmt.Errorf("metascritic: export: ratings asymmetric at (%d,%d): %v vs %v",
+					i, j, res.Ratings.At(i, j), res.Ratings.At(j, i))
+			}
+		}
+	}
+	return p.Export(res, minRating), nil
 }
 
 // Export converts a result into its serializable form, including every
@@ -50,9 +84,13 @@ func (p *Pipeline) Export(res *Result, minRating float64) Export {
 	return out
 }
 
-// WriteJSON serializes the export as indented JSON.
+// WriteJSON serializes the export as indented JSON. Errors are wrapped
+// with the metro so a failed write in a multi-metro batch is attributable.
 func (e Export) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(e)
+	if err := enc.Encode(e); err != nil {
+		return fmt.Errorf("metascritic: write JSON export for metro %s: %w", e.Metro, err)
+	}
+	return nil
 }

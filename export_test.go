@@ -2,8 +2,13 @@ package metascritic
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"math"
 	"testing"
+
+	"metascritic/internal/mat"
 )
 
 func TestExportRoundTrip(t *testing.T) {
@@ -41,5 +46,47 @@ func TestExportRoundTrip(t *testing.T) {
 	}
 	if back.Metro != exp.Metro || len(back.Links) != len(exp.Links) {
 		t.Fatalf("round trip lost data")
+	}
+}
+
+func TestExportContext(t *testing.T) {
+	p, res := topoResult(t)
+	ctx := context.Background()
+
+	exp, err := p.ExportContext(ctx, res, 0.5)
+	if err != nil {
+		t.Fatalf("ExportContext on a valid result: %v", err)
+	}
+	plain := p.Export(res, 0.5)
+	if exp.Metro != plain.Metro || len(exp.Links) != len(plain.Links) {
+		t.Fatalf("ExportContext diverges from Export: %d vs %d links", len(exp.Links), len(plain.Links))
+	}
+
+	if _, err := p.ExportContext(ctx, nil, 0.5); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("nil result: got %v, want ErrInvalidConfig", err)
+	}
+	if _, err := p.ExportContext(ctx, res, math.NaN()); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("NaN minRating: got %v, want ErrInvalidConfig", err)
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := p.ExportContext(cancelled, res, 0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: got %v, want context.Canceled", err)
+	}
+
+	// A corrupted (asymmetric) ratings matrix must be rejected, and the
+	// check must not mutate the caller's result.
+	bad := *res
+	bad.Ratings = &mat.Matrix{
+		Rows: res.Ratings.Rows,
+		Cols: res.Ratings.Cols,
+		Data: append([]float64(nil), res.Ratings.Data...),
+	}
+	bad.Ratings.Set(0, 1, bad.Ratings.At(0, 1)+1)
+	if _, err := p.ExportContext(ctx, &bad, 0.5); err == nil {
+		t.Fatalf("asymmetric ratings accepted")
+	} else if errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("asymmetry is corruption, not misconfiguration: %v", err)
 	}
 }

@@ -8,6 +8,7 @@ package asgraph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Class is the business classification of an AS (Appx. D.3).
@@ -165,7 +166,8 @@ type Graph struct {
 	Customers [][]int
 	Peers     [][]int
 
-	cones [][]int // lazily computed customer cones
+	conesMu sync.Mutex
+	cones   [][]int // lazily computed customer cones, guarded by conesMu
 }
 
 // NewGraph returns an empty graph ready for ASes to be added.
@@ -181,7 +183,7 @@ func (g *Graph) AddAS(a *AS) int {
 	g.Providers = append(g.Providers, nil)
 	g.Customers = append(g.Customers, nil)
 	g.Peers = append(g.Peers, nil)
-	g.cones = nil
+	g.invalidateCones()
 	return a.Index
 }
 
@@ -195,7 +197,13 @@ func (g *Graph) AddC2P(customer, provider int) {
 	}
 	g.Providers[customer] = append(g.Providers[customer], provider)
 	g.Customers[provider] = append(g.Customers[provider], customer)
+	g.invalidateCones()
+}
+
+func (g *Graph) invalidateCones() {
+	g.conesMu.Lock()
 	g.cones = nil
+	g.conesMu.Unlock()
 }
 
 // AddPeer records an AS-level peering between a and b (idempotent).
@@ -221,8 +229,12 @@ func (g *Graph) N() int { return len(g.ASes) }
 
 // CustomerCone returns the customer cone of AS i: the set of AS indices
 // reachable by repeatedly following provider→customer links, including i
-// itself. The result is sorted and cached.
+// itself. The result is sorted and cached; the cache is guarded so
+// concurrent metro runs can share one graph (callers must not mutate the
+// returned slice).
 func (g *Graph) CustomerCone(i int) []int {
+	g.conesMu.Lock()
+	defer g.conesMu.Unlock()
 	if g.cones == nil {
 		g.cones = make([][]int, g.N())
 	}

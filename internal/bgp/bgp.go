@@ -22,6 +22,7 @@ package bgp
 import (
 	"container/heap"
 	"math"
+	"sync"
 
 	"metascritic/internal/asgraph"
 )
@@ -330,9 +331,14 @@ func Path(routes []Route, from int) []int {
 }
 
 // RouteCache computes and memoizes per-destination propagation results.
-// It is not safe for concurrent use.
+// It is safe for concurrent use: propagation is deterministic per
+// destination, so racing computations of the same destination agree and
+// the first stored result wins. Callers must treat returned routes as
+// read-only.
 type RouteCache struct {
-	t     *Topology
+	t  *Topology
+	mu sync.RWMutex
+	// cache guarded by mu.
 	cache map[int][]Route
 }
 
@@ -343,11 +349,22 @@ func NewRouteCache(t *Topology) *RouteCache {
 
 // RoutesTo returns (computing if needed) all ASes' best routes toward dest.
 func (c *RouteCache) RoutesTo(dest int) []Route {
-	if r, ok := c.cache[dest]; ok {
+	c.mu.RLock()
+	r, ok := c.cache[dest]
+	c.mu.RUnlock()
+	if ok {
 		return r
 	}
-	r := c.t.PropagateFrom(dest)
-	c.cache[dest] = r
+	// Propagate outside the lock; concurrent misses on the same dest
+	// duplicate work but produce identical routes.
+	r = c.t.PropagateFrom(dest)
+	c.mu.Lock()
+	if prev, ok := c.cache[dest]; ok {
+		r = prev
+	} else {
+		c.cache[dest] = r
+	}
+	c.mu.Unlock()
 	return r
 }
 

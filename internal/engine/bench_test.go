@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"metascritic"
+	"metascritic/internal/netsim"
+)
+
+// benchRunAll measures a whole study-metro batch at the given pool size.
+// Comparing workers=1 with workers=4 shows the scheduler's wall-clock
+// win on the laptop-scale world:
+//
+//	go test -bench RunAll -benchtime 2x ./internal/engine/
+//
+// Metro runs are CPU-bound and independent, so on >=4 cores the 4-worker
+// variant finishes the six-metro batch roughly min(4, cores)/1 times
+// faster. On a single-core machine the two variants tie; the delta
+// between them is then a direct read of the scheduler's overhead
+// (snapshotting, channels, stats), which should stay within noise.
+func benchRunAll(b *testing.B, workers int) {
+	w := netsim.Generate(netsim.Config{Seed: 1, Metros: netsim.DefaultMetros(0.12)})
+	p := metascritic.NewPipeline(w)
+	rng := rand.New(rand.NewSource(1))
+	p.SeedPublicMeasurements(6, rng)
+	cfg := metascritic.DefaultConfig()
+	cfg.BatchSize = 100
+	cfg.MaxMeasurements = 2500
+	cfg.Rank.MaxRank = 10
+	cfg.Rank.Iterations = 6
+	metros := w.PrimaryMetros()
+	sort.Ints(metros)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mr, err := New(p).RunAll(context.Background(), Config{
+			Base:    cfg,
+			Metros:  metros,
+			Workers: workers,
+		})
+		if err != nil {
+			b.Fatalf("RunAll: %v", err)
+		}
+		if len(mr.Results) != len(metros) {
+			b.Fatalf("got %d results", len(mr.Results))
+		}
+	}
+}
+
+func BenchmarkRunAll1Worker(b *testing.B)  { benchRunAll(b, 1) }
+func BenchmarkRunAll4Workers(b *testing.B) { benchRunAll(b, 4) }

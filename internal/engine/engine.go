@@ -1,0 +1,287 @@
+// Package engine schedules concurrent metAScritic metro runs over one
+// shared world: a bounded worker pool executes metros in parallel, a
+// thread-safe prior store streams learned strategy success rates from
+// finished metros into later ones (Appx. D.6's hierarchical
+// initialization, ~5x fewer bootstrap measurements), per-metro progress
+// events flow on a caller-supplied channel, and context cancellation
+// aborts the whole batch promptly. It is the scheduling seam the
+// production-scale roadmap items (sharding, batching, serving) build on.
+//
+// Determinism contract: every metro runs over an isolated snapshot of the
+// pipeline's observation store with a seed derived as MetroSeed(base,
+// metro), so with SharePriors off a batch's per-metro results are
+// byte-identical to sequential runs — RunAll(ctx, cfg).Results[m] equals
+// p.Snapshot().RunMetroContext(ctx, m, cfgWithSeed) — regardless of
+// worker count or scheduling order. With SharePriors on, which priors a
+// metro sees depends on completion order, so results may vary between
+// runs (at Workers=1 the scheduling order is fixed and runs are again
+// deterministic).
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"metascritic"
+)
+
+// MetroSeed derives the RNG seed metro runs use from a base seed: widely
+// separated streams per metro, so concurrent metros never duplicate RNG
+// sequences the way sharing DefaultConfig().Seed across metros would.
+func MetroSeed(base int64, metro int) int64 {
+	return base + int64(metro)*1_000_000_000
+}
+
+// Config configures one RunAll batch.
+type Config struct {
+	// Base is the per-metro pipeline configuration. Base.Seed is the
+	// batch's base seed; each metro runs with MetroSeed(Base.Seed, metro).
+	// Base.Priors must be nil when SharePriors is set (the engine manages
+	// priors itself).
+	Base metascritic.Config
+	// Metros lists the metro indices to run. Nil means the world's
+	// primary (study) metros, in ascending index order.
+	Metros []int
+	// Workers bounds the pool; 0 means runtime.GOMAXPROCS(0). The pool
+	// never exceeds the number of metros.
+	Workers int
+	// SharePriors streams learned StrategyRates from finished metros into
+	// later ones via the engine's prior store. This trades the batch-level
+	// determinism guarantee (see the package comment) for ~5x cheaper
+	// bootstrap on every metro that starts after the first finishes.
+	SharePriors bool
+	// Events, when non-nil, receives per-metro progress notifications.
+	// The engine never closes the channel; sends are abandoned when the
+	// batch is cancelled, so consumers should drain until RunAll returns.
+	Events chan<- Event
+}
+
+// MultiResult is the outcome of a RunAll batch.
+type MultiResult struct {
+	// Metros is the batch's metro set in scheduling order.
+	Metros []int
+	// Results maps metro index to its result.
+	Results map[int]*metascritic.Result
+	// Stats aggregates measurement counts, per-phase wall-clock and
+	// worker utilization over the batch.
+	Stats RunStats
+}
+
+// Result returns the result for a metro (nil if it was not in the batch).
+func (m *MultiResult) Result(metro int) *metascritic.Result { return m.Results[metro] }
+
+// Engine runs metro batches over one pipeline. The zero value is not
+// usable; construct with New. An Engine is safe for concurrent use, and
+// its prior store persists across batches: a second RunAll (or
+// RunMetroContext) starts with everything earlier runs learned.
+type Engine struct {
+	pipe   *metascritic.Pipeline
+	priors *PriorStore
+}
+
+// New builds an engine over a pipeline (world + seeded public
+// measurements). The pipeline's store is treated as the batch baseline:
+// RunAll snapshots it per metro and never mutates it.
+func New(p *metascritic.Pipeline) *Engine {
+	return &Engine{pipe: p, priors: NewPriorStore()}
+}
+
+// Priors exposes the engine's cross-metro prior store (for inspection
+// and for pre-seeding from an earlier campaign).
+func (e *Engine) Priors() *PriorStore { return e.priors }
+
+// Pipeline returns the underlying pipeline.
+func (e *Engine) Pipeline() *metascritic.Pipeline { return e.pipe }
+
+// RunMetroContext runs a single metro over an isolated snapshot of the
+// pipeline's store, with the engine's seed derivation and prior store
+// applied: pooled priors (if any) seed the run, and the learned rates
+// are published back. cfg.Seed is treated as the base seed, exactly as
+// in RunAll.
+func (e *Engine) RunMetroContext(ctx context.Context, metro int, cfg metascritic.Config) (*metascritic.Result, error) {
+	if cfg.Priors == nil {
+		if pooled, _ := e.priors.Pooled(); pooled != nil {
+			cfg.Priors = pooled
+		}
+	}
+	cfg.Seed = MetroSeed(cfg.Seed, metro)
+	res, err := e.pipe.Snapshot().RunMetroContext(ctx, metro, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	e.priors.Add(res.StrategyRates)
+	return res, nil
+}
+
+// RunAll executes the configured metros on a worker pool and returns
+// their results plus aggregated statistics. The first per-metro error
+// cancels the rest of the batch and is returned (wrapped); when ctx is
+// cancelled mid-batch, RunAll returns an error wrapping ctx.Err()
+// promptly, without waiting for unstarted metros.
+func (e *Engine) RunAll(ctx context.Context, cfg Config) (*MultiResult, error) {
+	if err := cfg.Base.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if cfg.SharePriors && cfg.Base.Priors != nil {
+		return nil, fmt.Errorf("engine: %w: Base.Priors must be nil when SharePriors is set", metascritic.ErrInvalidConfig)
+	}
+	g := e.pipe.World.G
+	metros := cfg.Metros
+	if metros == nil {
+		metros = append([]int(nil), e.pipe.World.PrimaryMetros()...)
+		sort.Ints(metros)
+	}
+	if len(metros) == 0 {
+		return nil, fmt.Errorf("engine: %w: no metros to run", metascritic.ErrInvalidConfig)
+	}
+	seen := make(map[int]bool, len(metros))
+	for _, m := range metros {
+		if m < 0 || m >= len(g.Metros) {
+			return nil, fmt.Errorf("engine: %w: metro index %d out of range [0,%d)", metascritic.ErrInvalidConfig, m, len(g.Metros))
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("engine: %w: metro %d listed twice", metascritic.ErrInvalidConfig, m)
+		}
+		seen[m] = true
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(metros) {
+		workers = len(metros)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*metascritic.Result, len(metros))
+	stats := make([]MetroStats, len(metros))
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for i := range metros {
+			select {
+			case jobs <- i:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for idx := range jobs {
+				metro := metros[idx]
+				name := g.Metros[metro].Name
+				mcfg := cfg.Base
+				mcfg.Seed = MetroSeed(cfg.Base.Seed, metro)
+				usedPriors, priorMetros := false, 0
+				if cfg.SharePriors {
+					if pooled, n := e.priors.Pooled(); pooled != nil {
+						mcfg.Priors = pooled
+						usedPriors, priorMetros = true, n
+					}
+				}
+				e.emit(runCtx, cfg.Events, Event{
+					Kind: MetroStarted, Metro: metro, Name: name,
+					Worker: worker, Time: time.Now(), UsedPriors: usedPriors,
+				})
+				t0 := time.Now()
+				res, err := e.pipe.Snapshot().RunMetroContext(runCtx, metro, mcfg)
+				if err != nil {
+					fail(fmt.Errorf("engine: metro %s (%d): %w", name, metro, err))
+					e.emit(runCtx, cfg.Events, Event{
+						Kind: MetroFailed, Metro: metro, Name: name,
+						Worker: worker, Time: time.Now(), Err: err,
+					})
+					continue // drain remaining jobs; they abort on runCtx
+				}
+				ms := MetroStats{
+					Metro: metro, Name: name, Seed: mcfg.Seed, Worker: worker,
+					Wall:                  time.Since(t0),
+					Measurements:          res.Measurements,
+					BootstrapMeasurements: res.BootstrapMeasurements,
+					UsedPriors:            usedPriors,
+					PriorMetros:           priorMetros,
+					Phases:                res.Timings,
+				}
+				results[idx] = res
+				stats[idx] = ms
+				if cfg.SharePriors {
+					e.priors.Add(res.StrategyRates)
+				}
+				e.emit(runCtx, cfg.Events, Event{
+					Kind: MetroFinished, Metro: metro, Name: name,
+					Worker: worker, Time: time.Now(), UsedPriors: usedPriors,
+					Stats: &ms,
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("engine: %w", cerr)
+	}
+
+	out := &MultiResult{
+		Metros:  append([]int(nil), metros...),
+		Results: make(map[int]*metascritic.Result, len(metros)),
+		Stats: RunStats{
+			Workers:  workers,
+			Wall:     time.Since(start),
+			PerMetro: stats,
+		},
+	}
+	for i, m := range metros {
+		out.Results[m] = results[i]
+		out.Stats.Busy += stats[i].Wall
+		out.Stats.Measurements += stats[i].Measurements
+		out.Stats.BootstrapMeasurements += stats[i].BootstrapMeasurements
+		out.Stats.Phases.Bootstrap += stats[i].Phases.Bootstrap
+		out.Stats.Phases.RankLoop += stats[i].Phases.RankLoop
+		out.Stats.Phases.Completion += stats[i].Phases.Completion
+		out.Stats.Phases.Threshold += stats[i].Phases.Threshold
+	}
+	return out, nil
+}
+
+// emit delivers a progress event, giving up when the batch is cancelled
+// so an unread events channel can never wedge an abort.
+func (e *Engine) emit(ctx context.Context, ch chan<- Event, ev Event) {
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- ev:
+	case <-ctx.Done():
+	}
+}

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"sync"
+
+	"metascritic/internal/probe"
+)
+
+// PriorStore pools learned per-strategy success rates across finished
+// metro runs (the hierarchical initialization of Appx. D.6). It is safe
+// for concurrent use: workers publish rates as their metros finish, and
+// metros starting later pull the pooled average to seed their selectors —
+// which lets them run a fifth of the bootstrap calibration measurements.
+type PriorStore struct {
+	mu  sync.Mutex
+	sum [probe.NumStrategies]float64
+	n   int
+}
+
+// NewPriorStore returns an empty store.
+func NewPriorStore() *PriorStore { return &PriorStore{} }
+
+// Add publishes one finished metro's learned strategy success rates.
+func (s *PriorStore) Add(rates [probe.NumStrategies]float64) {
+	s.mu.Lock()
+	for i, v := range rates {
+		s.sum[i] += v
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// Pooled returns the average success rates over all published metros and
+// how many metros contributed, or (nil, 0) when nothing has been
+// published yet. The returned array is a fresh copy the caller owns.
+func (s *PriorStore) Pooled() (*[probe.NumStrategies]float64, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return nil, 0
+	}
+	var out [probe.NumStrategies]float64
+	for i := range out {
+		out[i] = s.sum[i] / float64(s.n)
+	}
+	return &out, s.n
+}
+
+// Count returns the number of metros pooled so far.
+func (s *PriorStore) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

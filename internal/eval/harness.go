@@ -5,6 +5,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -13,6 +14,7 @@ import (
 	"metascritic"
 	"metascritic/internal/asgraph"
 	"metascritic/internal/bgp"
+	"metascritic/internal/engine"
 	"metascritic/internal/igdb"
 	"metascritic/internal/mat"
 	"metascritic/internal/netsim"
@@ -127,10 +129,60 @@ func (h *Harness) Run(metro int) *metascritic.Result {
 		pooled := poolRates(rates)
 		cfg.Priors = &pooled
 	}
-	r := h.P.RunMetro(metro, cfg)
+	r, err := h.P.RunMetroContext(context.Background(), metro, cfg)
+	if err != nil {
+		// The harness API predates error returns and its configs come from
+		// DefaultOptions, so a failure here is a programming error.
+		panic(fmt.Sprintf("eval: run metro %d: %v", metro, err))
+	}
 	h.results[metro] = r
 	h.order = append(h.order, metro)
 	return r
+}
+
+// RunPrimariesParallel runs all (not yet cached) study metros through the
+// concurrent engine with cross-metro prior sharing, adopts the results
+// into the harness cache, and returns the batch statistics. Experiments
+// that later ask for these metros reuse the cached results, so warming
+// the cache this way parallelizes the dominant cost of a full experiment
+// sweep. Unlike sequential Run, each metro measures against an isolated
+// snapshot of the public evidence (the engine's determinism contract),
+// so absolute numbers can differ slightly from a sequentially warmed
+// cache.
+func (h *Harness) RunPrimariesParallel(ctx context.Context, workers int) (engine.RunStats, error) {
+	metros := h.W.PrimaryMetros()
+	sort.Ints(metros)
+	var todo []int
+	for _, m := range metros {
+		if _, ok := h.results[m]; !ok {
+			todo = append(todo, m)
+		}
+	}
+	if len(todo) == 0 {
+		return engine.RunStats{}, nil
+	}
+	eng := engine.New(h.P)
+	if len(h.order) > 0 {
+		var rates [][144]float64
+		for _, m := range h.order {
+			rates = append(rates, h.results[m].StrategyRates)
+		}
+		eng.Priors().Add(poolRates(rates))
+	}
+	mr, err := eng.RunAll(ctx, engine.Config{
+		Base:        h.Cfg,
+		Metros:      todo,
+		Workers:     workers,
+		SharePriors: true,
+	})
+	if err != nil {
+		return engine.RunStats{}, fmt.Errorf("eval: parallel primaries: %w", err)
+	}
+	for _, m := range mr.Metros {
+		h.results[m] = mr.Results[m]
+		h.order = append(h.order, m)
+	}
+	return mr.Stats, nil
 }
 
 func poolRates(rates [][144]float64) [144]float64 {

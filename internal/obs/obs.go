@@ -79,6 +79,43 @@ func NewStore(g *asgraph.Graph, resolve func(ipmap.Addr) (ipmap.Info, bool)) *St
 	}
 }
 
+// Clone returns a deep copy of the store's accumulated knowledge. The
+// clone shares the (read-only) graph and resolver but owns its own
+// observation maps, so a cloned store can ingest traces independently —
+// the isolation mechanism behind concurrent per-metro runs (each metro
+// measures against its own snapshot of the shared evidence base).
+func (s *Store) Clone() *Store {
+	c := &Store{
+		g:           s.g,
+		resolve:     s.resolve,
+		direct:      make(map[asgraph.Pair]map[int]bool, len(s.direct)),
+		transit:     make(map[asgraph.Pair][]transitObs, len(s.transit)),
+		probeSeen:   make(map[probeKey]map[[2]int]bool, len(s.probeSeen)),
+		probeTraces: make(map[probeKey]int, len(s.probeTraces)),
+	}
+	for pr, metros := range s.direct {
+		m := make(map[int]bool, len(metros))
+		for k, v := range metros {
+			m[k] = v
+		}
+		c.direct[pr] = m
+	}
+	for pr, tobs := range s.transit {
+		c.transit[pr] = append([]transitObs(nil), tobs...)
+	}
+	for pk, seen := range s.probeSeen {
+		m := make(map[[2]int]bool, len(seen))
+		for k, v := range seen {
+			m[k] = v
+		}
+		c.probeSeen[pk] = m
+	}
+	for pk, n := range s.probeTraces {
+		c.probeTraces[pk] = n
+	}
+	return c
+}
+
 // hopInfo is a resolved responsive hop.
 type hopInfo struct {
 	as    int

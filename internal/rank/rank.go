@@ -8,6 +8,7 @@
 package rank
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -50,6 +51,34 @@ type Config struct {
 	// making its MSE incomparable with earlier rounds.
 	MinEvaluated int
 	Seed         int64
+	// Stop, when non-nil, is polled between rounds; when it returns true
+	// the loop aborts and returns the best rank found so far. The pipeline
+	// wires context cancellation through it.
+	Stop func() bool
+}
+
+// Validate rejects configurations that would make the estimation loop
+// silently misbehave (non-positive caps, NaN hyperparameters).
+func (c Config) Validate() error {
+	if c.MaxRank <= 0 {
+		return fmt.Errorf("rank: MaxRank must be positive, got %d (use rank.DefaultConfig())", c.MaxRank)
+	}
+	if c.Iterations <= 0 {
+		return fmt.Errorf("rank: Iterations must be positive, got %d", c.Iterations)
+	}
+	if c.HoldoutPerRow < 0 {
+		return fmt.Errorf("rank: HoldoutPerRow must be non-negative, got %d", c.HoldoutPerRow)
+	}
+	if math.IsNaN(c.Lambda) || c.Lambda < 0 {
+		return fmt.Errorf("rank: Lambda must be a non-negative number, got %v", c.Lambda)
+	}
+	if math.IsNaN(c.FeatureWeight) || c.FeatureWeight < 0 {
+		return fmt.Errorf("rank: FeatureWeight must be a non-negative number, got %v", c.FeatureWeight)
+	}
+	if math.IsNaN(c.MinImprove) {
+		return fmt.Errorf("rank: MinImprove must be a number")
+	}
+	return nil
 }
 
 // DefaultConfig returns the settings used in the paper-scale runs.
@@ -101,6 +130,9 @@ func Estimate(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, topUp TopUpFu
 	res := Result{Rank: 1, BestMSE: math.Inf(1)}
 	bad := 0
 	for r := 1; r <= cfg.MaxRank; r++ {
+		if cfg.Stop != nil && cfg.Stop() {
+			break
+		}
 		// Targeted measurements: bring every deficient row up to r
 		// observed entries.
 		need := make([]int, n)

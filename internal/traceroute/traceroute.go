@@ -10,6 +10,8 @@
 package traceroute
 
 import (
+	"sync/atomic"
+
 	"metascritic/internal/asgraph"
 	"metascritic/internal/bgp"
 	"metascritic/internal/ipmap"
@@ -36,7 +38,9 @@ type Trace struct {
 
 // Engine executes traceroutes against a world. It also counts measurements
 // so callers can enforce probing budgets (the paper's RIPE Atlas rate
-// limits).
+// limits). An Engine is safe for concurrent use: traces are pure functions
+// of (vp, target) and the issued counter is atomic, so concurrent metro
+// runs can share one engine and observe identical hop sequences.
 type Engine struct {
 	W   *netsim.World
 	Reg *ipmap.Registry
@@ -46,9 +50,12 @@ type Engine struct {
 	// HopLossRate is the per-hop probability of a silent router in an
 	// otherwise responsive AS (deterministic per (addr, dst)).
 	HopLossRate float64
-	// Issued counts traceroutes run so far.
-	Issued int
+	// issued counts traceroutes run so far (updated atomically).
+	issued atomic.Int64
 }
+
+// Issued returns the number of traceroutes run so far.
+func (e *Engine) Issued() int { return int(e.issued.Load()) }
 
 // NewEngine builds an engine over w with a fresh registry and route cache.
 func NewEngine(w *netsim.World) *Engine {
@@ -69,7 +76,7 @@ func (e *Engine) Run(vpAS, vpMetro, dstAS int) Trace {
 // RunTarget issues one traceroute toward a specific target address: the
 // one dstAS announces at dstMetro (or its closest presence).
 func (e *Engine) RunTarget(vpAS, vpMetro, dstAS, dstMetro int) Trace {
-	e.Issued++
+	e.issued.Add(1)
 	tr := Trace{VPAS: vpAS, VPMetro: vpMetro, DstAS: dstAS}
 	tr.DstAddr = e.Reg.TargetAddr(dstAS, dstMetro)
 	// flow distinguishes targets in the same AS at different metros, so

@@ -36,8 +36,8 @@ func TestRunBasic(t *testing.T) {
 	if !tr.Reached {
 		t.Fatalf("responsive destination not reached")
 	}
-	if e.Issued != 1 {
-		t.Fatalf("Issued = %d", e.Issued)
+	if e.Issued() != 1 {
+		t.Fatalf("Issued = %d", e.Issued())
 	}
 }
 

@@ -17,9 +17,12 @@
 package metascritic
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"metascritic/internal/als"
 	"metascritic/internal/asgraph"
@@ -89,6 +92,25 @@ type Calibration struct {
 	Strat  probe.Strategy
 }
 
+// PhaseTimings records wall-clock spent in each phase of a metro run, for
+// the engine's aggregated run statistics.
+type PhaseTimings struct {
+	// Bootstrap covers the per-strategy calibration measurements (§3.3.2).
+	Bootstrap time.Duration
+	// RankLoop covers the iterative rank estimation with integrated
+	// targeted measurement (§3.2 + §3.3).
+	RankLoop time.Duration
+	// Completion covers the final ALS completion (plus tuning, if any).
+	Completion time.Duration
+	// Threshold covers the λ holdout search (§3.1).
+	Threshold time.Duration
+}
+
+// Total returns the summed phase wall-clock.
+func (t PhaseTimings) Total() time.Duration {
+	return t.Bootstrap + t.RankLoop + t.Completion + t.Threshold
+}
+
 // Result is the output of running metAScritic on one metro.
 type Result struct {
 	Metro   int
@@ -105,6 +127,12 @@ type Result struct {
 	Threshold float64
 	// Measurements is the number of targeted traceroutes issued.
 	Measurements int
+	// BootstrapMeasurements is the portion of Measurements spent on the
+	// per-strategy calibration phase (§3.3.2). Cross-metro priors cut this
+	// ~5x (Appx. D.6), which is what the engine's prior store exploits.
+	BootstrapMeasurements int
+	// Timings records per-phase wall-clock for this run.
+	Timings PhaseTimings
 	// Calibrations holds per-measurement probability/outcome records.
 	Calibrations []Calibration
 	// StrategyRates exports the learned per-strategy success rates for
@@ -241,9 +269,56 @@ func BuildFeatures(g *asgraph.Graph, members []int) *mat.Matrix {
 	return f
 }
 
+// Snapshot returns a pipeline sharing this pipeline's (immutable) world,
+// traceroute engine and hitlist, but owning a deep copy of the observation
+// store. A snapshot can run a metro without its targeted traceroutes
+// leaking into other runs — the isolation unit behind the concurrent
+// engine: every metro of an engine batch measures against the evidence
+// available when the batch started.
+func (p *Pipeline) Snapshot() *Pipeline {
+	return &Pipeline{
+		World:   p.World,
+		Engine:  p.Engine,
+		Store:   p.Store.Clone(),
+		Hitlist: p.Hitlist,
+	}
+}
+
 // RunMetro executes the full metAScritic loop (Fig. 2) on one metro.
+//
+// Deprecated-style compatibility wrapper: it is equivalent to
+// RunMetroContext with a background context, and panics on an invalid
+// Config (the only error a non-cancellable run can produce). New code
+// should call RunMetroContext, which reports errors and honors
+// cancellation.
 func (p *Pipeline) RunMetro(metro int, cfg Config) *Result {
+	res, err := p.RunMetroContext(context.Background(), metro, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("metascritic: RunMetro: %v", err))
+	}
+	return res
+}
+
+// RunMetroContext executes the full metAScritic loop (Fig. 2) on one
+// metro. The config is validated up front; ctx cancellation is checked
+// between measurements and between estimation rounds, so an abort takes
+// effect promptly and returns an error wrapping ctx.Err().
+//
+// Determinism: a run is a pure function of (world, store contents at
+// entry, metro, cfg) — traceroute simulation is hash-based and the only
+// RNG is seeded from cfg.Seed — so equal inputs give byte-identical
+// Results regardless of what other goroutines do to *other* pipelines.
+func (p *Pipeline) RunMetroContext(ctx context.Context, metro int, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("metascritic: metro %d: %w", metro, err)
+	}
 	g := p.World.G
+	if metro < 0 || metro >= len(g.Metros) {
+		return nil, fmt.Errorf("metascritic: %w: metro index %d out of range [0,%d)", ErrInvalidConfig, metro, len(g.Metros))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("metascritic: metro %d: %w", metro, err)
+	}
 	members := g.Metros[metro].Members
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -263,14 +338,16 @@ func (p *Pipeline) RunMetro(metro int, cfg Config) *Result {
 
 	// Bootstrap phase (§3.3.2): calibrate per-strategy success rates with
 	// a few random measurements per strategy before targeted selection.
+	phaseStart := time.Now()
 	if boot > 0 && budget > 0 {
 		plan := sel.BootstrapPlan(boot, 600, rng)
 		for _, m := range plan {
-			if budget <= 0 {
+			if budget <= 0 || ctx.Err() != nil {
 				break
 			}
 			budget--
 			res.Measurements++
+			res.BootstrapMeasurements++
 			tr := p.Engine.RunTarget(m.VP.AS, m.VP.Metro, m.Target.AS, m.Target.Metro)
 			findings := p.Store.AddTrace(tr)
 			informative := false
@@ -292,6 +369,10 @@ func (p *Pipeline) RunMetro(metro int, cfg Config) *Result {
 		fresh := p.Store.Estimate(metro, members, cfg.NegPolicy)
 		copy(est.E.Data, fresh.E.Data)
 		est.Mask.CopyFrom(fresh.Mask)
+	}
+	res.Timings.Bootstrap = time.Since(phaseStart)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("metascritic: metro %d: bootstrap aborted: %w", metro, err)
 	}
 
 	refresh := func() {
@@ -315,7 +396,7 @@ func (p *Pipeline) RunMetro(metro int, cfg Config) *Result {
 			}
 		}
 		stale := 0
-		for round := 0; round < 16 && budget > 0; round++ {
+		for round := 0; round < 16 && budget > 0 && ctx.Err() == nil; round++ {
 			cur := make([]int, len(need))
 			remaining := 0
 			for i := range target {
@@ -337,7 +418,7 @@ func (p *Pipeline) RunMetro(metro int, cfg Config) *Result {
 				break
 			}
 			for _, m := range batch {
-				if budget <= 0 {
+				if budget <= 0 || ctx.Err() != nil {
 					break
 				}
 				budget--
@@ -382,15 +463,22 @@ func (p *Pipeline) RunMetro(metro int, cfg Config) *Result {
 	}
 
 	// Rank estimation with integrated targeted measurement (§3.2 + §3.3).
+	phaseStart = time.Now()
 	rcfg := cfg.Rank
 	rcfg.Seed = cfg.Seed
+	rcfg.Stop = func() bool { return ctx.Err() != nil }
 	rres := rank.Estimate(est.E, est.Mask, features, topUp, rcfg)
 	res.Rank = rres.Rank
 	res.RankHistory = rres.History
 	res.Estimate = est
 	res.StrategyRates = sel.StrategyRates()
+	res.Timings.RankLoop = time.Since(phaseStart)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("metascritic: metro %d: rank estimation aborted: %w", metro, err)
+	}
 
 	// Final completion at the estimated rank.
+	phaseStart = time.Now()
 	opts := als.Options{
 		Rank:          rres.Rank,
 		Lambda:        rcfg.Lambda,
@@ -406,11 +494,17 @@ func (p *Pipeline) RunMetro(metro int, cfg Config) *Result {
 	res.Lambda = opts.Lambda
 	res.FeatureWeight = opts.FeatureWeight
 	res.Ratings = als.Complete(est.E, est.Mask, features, opts)
+	res.Timings.Completion = time.Since(phaseStart)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("metascritic: metro %d: completion aborted: %w", metro, err)
+	}
 
 	// λ search: hold out 20% of observed entries, score the completion on
 	// them, pick the F-maximizing threshold (§3.1).
+	phaseStart = time.Now()
 	res.Threshold = p.pickThreshold(est, features, opts, rng)
-	return res
+	res.Timings.Threshold = time.Since(phaseStart)
+	return res, nil
 }
 
 // CompleteWith re-runs the hybrid completion with explicit hyperparameters

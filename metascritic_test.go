@@ -40,8 +40,8 @@ func TestSeedPublicMeasurements(t *testing.T) {
 	if n == 0 {
 		t.Fatalf("no public measurements issued")
 	}
-	if p.Engine.Issued != n {
-		t.Fatalf("engine issued %d, reported %d", p.Engine.Issued, n)
+	if p.Engine.Issued() != n {
+		t.Fatalf("engine issued %d, reported %d", p.Engine.Issued(), n)
 	}
 }
 

@@ -1,0 +1,47 @@
+package metascritic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalidConfig is wrapped by every validation failure, so callers can
+// distinguish configuration mistakes from runtime failures with
+// errors.Is(err, metascritic.ErrInvalidConfig).
+var ErrInvalidConfig = errors.New("invalid config")
+
+// Validate rejects configurations that would make a run silently
+// misbehave: NaN or out-of-range exploration fractions, non-positive batch
+// sizes, negative prior mass, and zero-valued rank settings (a Config
+// should start from DefaultConfig, which fills them). Every run entry
+// point calls it, so an invalid Config fails fast with a descriptive
+// error instead of producing a quietly wrong topology.
+func (c Config) Validate() error {
+	if math.IsNaN(c.Epsilon) || c.Epsilon < 0 || c.Epsilon > 1 {
+		return fmt.Errorf("%w: Epsilon must be in [0,1], got %v", ErrInvalidConfig, c.Epsilon)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("%w: BatchSize must be positive, got %d", ErrInvalidConfig, c.BatchSize)
+	}
+	if c.MaxMeasurements < 0 {
+		return fmt.Errorf("%w: MaxMeasurements must be non-negative, got %d", ErrInvalidConfig, c.MaxMeasurements)
+	}
+	if math.IsNaN(c.PriorWeight) || c.PriorWeight < 0 {
+		return fmt.Errorf("%w: PriorWeight must be a non-negative number, got %v", ErrInvalidConfig, c.PriorWeight)
+	}
+	if c.Priors != nil {
+		for i, v := range c.Priors {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				return fmt.Errorf("%w: Priors[%d] must be a success rate in [0,1], got %v", ErrInvalidConfig, i, v)
+			}
+		}
+	}
+	if c.BootstrapPerStrategy < 0 {
+		return fmt.Errorf("%w: BootstrapPerStrategy must be non-negative, got %d", ErrInvalidConfig, c.BootstrapPerStrategy)
+	}
+	if err := c.Rank.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	return nil
+}
