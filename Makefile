@@ -1,6 +1,15 @@
 GO ?= go
 
-.PHONY: build test check bench clean
+# Perf-trajectory benchmarks (see DESIGN.md §Performance): size via
+# METASCRITIC_BENCH_SCALE, select the completion / rank-sweep / propagation
+# micro-benchmarks, record machine-readable results for later PRs to diff.
+BENCH_SCALE ?= 0.05
+BENCH_PATTERN = BenchmarkComplete|BenchmarkRankEstimate|BenchmarkPropagate$$
+BENCH_PKGS = ./internal/als ./internal/rank ./internal/bgp
+BENCH_OUT ?= BENCH_PR2.json
+BENCH_BASELINE ?=
+
+.PHONY: build test check bench bench-engine clean
 
 build:
 	$(GO) build ./...
@@ -16,7 +25,18 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/engine/... ./...
 
+# bench runs the hot-path micro-benchmarks at the CI trajectory scale and
+# writes $(BENCH_OUT). Set BENCH_BASELINE to a prior run's text output to
+# embed before/after speedups.
 bench:
+	METASCRITIC_BENCH_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' \
+		-bench '$(BENCH_PATTERN)' -benchmem -benchtime 2s $(BENCH_PKGS) \
+		| tee /tmp/metascritic_bench.txt
+	$(GO) run ./cmd/benchjson -in /tmp/metascritic_bench.txt \
+		$(if $(BENCH_BASELINE),-before $(BENCH_BASELINE)) \
+		-scale $(BENCH_SCALE) -out $(BENCH_OUT)
+
+bench-engine:
 	$(GO) test -bench RunAll -benchtime 2x -run '^$$' ./internal/engine/
 
 clean:

@@ -1,0 +1,181 @@
+// Command benchjson converts `go test -bench` text output into the
+// machine-readable BENCH_*.json files that track the repo's performance
+// trajectory across PRs (see `make bench` and DESIGN.md §Performance).
+//
+// Usage:
+//
+//	go test -bench ... -benchmem ./... | go run ./cmd/benchjson -out BENCH_PR2.json
+//	go run ./cmd/benchjson -in after.txt -before before.txt -out BENCH_PR2.json
+//
+// When -before is given (a prior run's text output), each benchmark entry
+// carries both measurements plus the before/after speedup; otherwise only
+// "after" is filled.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark result line.
+type Measurement struct {
+	Runs       int     `json:"runs"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Entry pairs the measurements of one benchmark across the two runs.
+type Entry struct {
+	Name    string       `json:"name"`
+	Package string       `json:"package,omitempty"`
+	Before  *Measurement `json:"before,omitempty"`
+	After   *Measurement `json:"after,omitempty"`
+	Speedup float64      `json:"speedup,omitempty"` // before.ns / after.ns
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Scale      string  `json:"scale,omitempty"` // METASCRITIC_BENCH_SCALE the run used
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "", "bench text input (default stdin)")
+	before := flag.String("before", "", "optional baseline bench text to embed as 'before'")
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	scale := flag.String("scale", os.Getenv("METASCRITIC_BENCH_SCALE"), "scale label recorded in the report")
+	flag.Parse()
+
+	after, order, err := parseFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	var base map[string]*Measurement
+	if *before != "" {
+		base, _, err = parseFile(*before)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	rep := Report{Scale: *scale}
+	for _, name := range order {
+		e := Entry{Name: shortName(name), Package: pkgOf(name), After: after[name]}
+		if b, ok := base[name]; ok {
+			e.Before = b
+			if e.After != nil && e.After.NsPerOp > 0 {
+				e.Speedup = round2(b.NsPerOp / e.After.NsPerOp)
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseFile reads `go test -bench` output, returning measurements keyed by
+// "pkg\tname" plus the encounter order.
+func parseFile(path string) (map[string]*Measurement, []string, error) {
+	var r io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	res := map[string]*Measurement{}
+	var order []string
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if p, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(p)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name N ns/op-value "ns/op" [bytes "B/op"] [allocs "allocs/op"]
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		runs, err1 := strconv.Atoi(fields[1])
+		ns, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		m := &Measurement{Runs: runs, NsPerOp: ns}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		key := pkg + "\t" + name
+		if _, seen := res[key]; !seen {
+			order = append(order, key)
+		}
+		res[key] = m
+	}
+	return res, order, sc.Err()
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS from a benchmark name
+// (BenchmarkFoo/bar-8 → BenchmarkFoo/bar), without touching sub-benchmark
+// names that legitimately contain dashes before the final segment.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func shortName(key string) string {
+	_, n, _ := strings.Cut(key, "\t")
+	return n
+}
+
+func pkgOf(key string) string {
+	p, _, _ := strings.Cut(key, "\t")
+	return p
+}
+
+func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -5,14 +5,16 @@
 // inform the completion alongside observed links. The relative weight of
 // feature entries versus link entries is a hyperparameter, as is the
 // regularizer (tuned against a holdout, Appx. D.4).
+//
+// The completion kernel lives in Problem (problem.go): the per-row
+// observation structure is built once per (E, mask, features) and reused
+// across holdout draws, tune grid points, and rank candidates. Complete,
+// HoldoutMSE and Tune are the one-shot conveniences layered on top.
 package als
 
 import (
 	"math"
 	"math/rand"
-	"runtime"
-	"sort"
-	"sync"
 
 	"metascritic/internal/mat"
 )
@@ -37,169 +39,18 @@ func DefaultOptions(rank int) Options {
 	return Options{Rank: rank, Lambda: 0.08, FeatureWeight: 0.35, Iterations: 12, Seed: 1}
 }
 
-// observation is one weighted observed entry of the augmented matrix.
-type observation struct {
-	col    int
-	value  float64
-	weight float64
-}
-
 // Complete runs hybrid ALS over the estimated matrix E (n×n, symmetric,
 // entries meaningful only where mask is set) augmented with the feature
 // matrix (n×f, one row per AS; columns are normalized internally). It
 // returns the completed n×n rating matrix with entries clipped to [-1, 1].
+//
+// Callers completing the same (E, mask, features) more than once should
+// build a Problem and reuse it instead.
 func Complete(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, opts Options) *mat.Matrix {
-	n := E.Rows
-	f := 0
-	var feat *mat.Matrix
-	if features != nil && opts.FeatureWeight > 0 {
-		feat = normalizeColumns(features)
-		f = feat.Cols
+	if opts.FeatureWeight <= 0 {
+		features = nil
 	}
-	dim := n + f
-	k := opts.Rank
-	if k < 1 {
-		k = 1
-	}
-	if k > dim {
-		k = dim
-	}
-	if opts.Iterations < 1 {
-		opts.Iterations = 1
-	}
-
-	// Observed entries of the augmented symmetric matrix, stored per row.
-	rows := make([][]observation, dim)
-	addObs := func(i, j int, v, w float64) {
-		rows[i] = append(rows[i], observation{col: j, value: v, weight: w})
-		if i != j {
-			rows[j] = append(rows[j], observation{col: i, value: v, weight: w})
-		}
-	}
-	mask.Entries(func(i, j int) {
-		addObs(i, j, E.At(i, j), 1)
-	})
-	for i := 0; i < n; i++ {
-		for c := 0; c < f; c++ {
-			addObs(i, n+c, feat.At(i, c), opts.FeatureWeight)
-		}
-	}
-	// Mask iteration order is map-random; sort each row so the floating-
-	// point accumulation order (and thus the result) is deterministic.
-	for i := range rows {
-		sort.Slice(rows[i], func(a, b int) bool { return rows[i][a].col < rows[i][b].col })
-	}
-
-	// Factor initialization: small random values.
-	rng := rand.New(rand.NewSource(opts.Seed))
-	P := mat.New(dim, k)
-	Q := mat.New(dim, k)
-	for i := range P.Data {
-		P.Data[i] = 0.1 * rng.NormFloat64()
-		Q.Data[i] = 0.1 * rng.NormFloat64()
-	}
-
-	for it := 0; it < opts.Iterations; it++ {
-		solveSide(rows, Q, P, opts.Lambda) // fix Q, solve P rows
-		solveSide(rows, P, Q, opts.Lambda) // fix P, solve Q rows
-	}
-
-	// Ratings: symmetrized product restricted to the AS block.
-	out := mat.New(n, n)
-	for i := 0; i < n; i++ {
-		pi := P.Row(i)
-		qi := Q.Row(i)
-		for j := i; j < n; j++ {
-			pj := P.Row(j)
-			qj := Q.Row(j)
-			var a, b float64
-			for d := 0; d < k; d++ {
-				a += pi[d] * qj[d]
-				b += pj[d] * qi[d]
-			}
-			v := clip((a+b)/2, -1, 1)
-			out.Set(i, j, v)
-			out.Set(j, i, v)
-		}
-	}
-	return out
-}
-
-// solveSide solves, for every row i, the regularized least squares
-//
-//	(Σ_j w_ij fixed_j fixed_jᵀ + λΣw I) free_i = Σ_j w_ij A_ij fixed_j
-//
-// writing the result into free. Rows are independent, so they are solved
-// by a bounded worker pool; each worker owns its scratch buffers and
-// writes only its own rows, keeping the result bit-identical to the
-// sequential computation.
-func solveSide(rows [][]observation, fixed, free *mat.Matrix, lambda float64) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(rows) {
-		workers = len(rows)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(start int) {
-			defer wg.Done()
-			k := fixed.Cols
-			ata := mat.New(k, k)
-			atb := make([]float64, k)
-			for i := start; i < len(rows); i += workers {
-				solveRow(rows[i], fixed, free.Row(i), lambda, ata, atb)
-			}
-		}(w)
-	}
-	wg.Wait()
-}
-
-// solveRow solves one row's normal equations into out, reusing the caller's
-// scratch matrices.
-func solveRow(obs []observation, fixed *mat.Matrix, out []float64, lambda float64, ata *mat.Matrix, atb []float64) {
-	k := fixed.Cols
-	if len(obs) == 0 {
-		// No information: shrink toward zero.
-		for d := range out {
-			out[d] = 0
-		}
-		return
-	}
-	for x := range ata.Data {
-		ata.Data[x] = 0
-	}
-	for d := range atb {
-		atb[d] = 0
-	}
-	var wsum float64
-	for _, o := range obs {
-		q := fixed.Row(o.col)
-		w := o.weight
-		wsum += w
-		for a := 0; a < k; a++ {
-			wqa := w * q[a]
-			atb[a] += wqa * o.value
-			arow := ata.Row(a)
-			for b := a; b < k; b++ {
-				arow[b] += wqa * q[b]
-			}
-		}
-	}
-	// Mirror the upper triangle and add the regularizer.
-	for a := 0; a < k; a++ {
-		for b := a + 1; b < k; b++ {
-			ata.Set(b, a, ata.At(a, b))
-		}
-		ata.Add(a, a, lambda*wsum+1e-9)
-	}
-	sol, err := mat.CholeskySolve(ata, atb)
-	if err != nil {
-		return // keep previous factors for this row
-	}
-	copy(out, sol)
+	return NewProblem(E, mask, features).Complete(opts, nil)
 }
 
 // normalizeColumns rescales each feature column to [-1, 1] (max-abs after
@@ -239,15 +90,9 @@ func clip(v, lo, hi float64) float64 {
 	return v
 }
 
-// HoldoutMSE completes the matrix with the given entries removed and
-// returns the mean squared error on the removed entries. It is the scoring
-// primitive of the rank-estimation loop (§3.2).
-func HoldoutMSE(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, holdout [][2]int, opts Options) float64 {
-	work := mask.Clone()
-	for _, h := range holdout {
-		work.Unset(h[0], h[1])
-	}
-	completed := Complete(E, work, features, opts)
+// holdoutMSEProblem scores one holdout on an already-built problem.
+func holdoutMSEProblem(p *Problem, E *mat.Matrix, ov *mat.Overlay, holdout [][2]int, opts Options) float64 {
+	completed := p.Complete(opts, ov)
 	var se float64
 	cnt := 0
 	for _, h := range holdout {
@@ -261,6 +106,21 @@ func HoldoutMSE(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, holdout [][
 	return se / float64(cnt)
 }
 
+// HoldoutMSE completes the matrix with the given entries removed and
+// returns the mean squared error on the removed entries. It is the scoring
+// primitive of the rank-estimation loop (§3.2). The caller's mask is not
+// mutated: the removals are applied as an overlay.
+func HoldoutMSE(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, holdout [][2]int, opts Options) float64 {
+	if opts.FeatureWeight <= 0 {
+		features = nil
+	}
+	ov := mat.NewOverlay(mask)
+	for _, h := range holdout {
+		ov.Remove(h[0], h[1])
+	}
+	return holdoutMSEProblem(NewProblem(E, mask, features), E, ov, holdout, opts)
+}
+
 // TuneResult is the outcome of a hyperparameter search.
 type TuneResult struct {
 	Lambda        float64
@@ -269,7 +129,10 @@ type TuneResult struct {
 }
 
 // Tune grid-searches the regularizer and feature weight against a random
-// holdout of observed entries (Appx. D.4 / [56]).
+// holdout of observed entries (Appx. D.4 / [56]). Two problems back the
+// whole grid — a featureless one for the weight-0 points and a featured one
+// for the rest — so the observation structure is built twice, not once per
+// grid point.
 func Tune(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, rank int, rng *rand.Rand) TuneResult {
 	// Build a holdout of ~10% of observed entries.
 	var entries [][2]int
@@ -284,12 +147,26 @@ func Tune(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, rank int, rng *ra
 		h = 1
 	}
 	holdout := entries[:h]
+	ov := mat.NewOverlay(mask)
+	for _, hh := range holdout {
+		ov.Remove(hh[0], hh[1])
+	}
+
+	probNoF := NewProblem(E, mask, nil)
+	var probF *Problem
+	if features != nil && features.Cols > 0 {
+		probF = NewProblem(E, mask, features)
+	}
 
 	best := TuneResult{MSE: math.Inf(1)}
 	for _, lambda := range []float64{0.02, 0.08, 0.3} {
 		for _, fw := range []float64{0, 0.2, 0.5} {
+			p := probNoF
+			if fw > 0 && probF != nil {
+				p = probF
+			}
 			opts := Options{Rank: rank, Lambda: lambda, FeatureWeight: fw, Iterations: 8, Seed: 1}
-			mse := HoldoutMSE(E, mask, features, holdout, opts)
+			mse := holdoutMSEProblem(p, E, ov, holdout, opts)
 			if mse < best.MSE {
 				best = TuneResult{Lambda: lambda, FeatureWeight: fw, MSE: mse}
 			}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"metascritic/internal/benchscale"
 	"metascritic/internal/mat"
 )
 
@@ -18,15 +19,23 @@ func benchProblem(n int, fill float64) (*mat.Matrix, *mat.Mask, *mat.Matrix) {
 	return truth, mask, features
 }
 
+// benchSizes scales with METASCRITIC_BENCH_SCALE: 64/128 at the CI
+// trajectory scale of 0.05.
+func benchSizes() []int {
+	big := benchscale.N(2560, 64)
+	return []int{big / 2, big}
+}
+
 func BenchmarkComplete(b *testing.B) {
-	for _, n := range []int{64, 128} {
-		name := "n64"
-		if n == 128 {
-			name = "n128"
+	for i, n := range benchSizes() {
+		name := "half"
+		if i == 1 {
+			name = "full"
 		}
 		b.Run(name, func(b *testing.B) {
 			E, mask, feat := benchProblem(n, 0.25)
 			opts := DefaultOptions(12)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				Complete(E, mask, feat, opts)

@@ -1,0 +1,37 @@
+// Package benchscale sizes micro-benchmarks from the METASCRITIC_BENCH_SCALE
+// environment variable so the same benchmark definitions serve both quick CI
+// perf-trajectory runs (scale 0.05, see `make bench`) and full-size local
+// profiling (scale 1). Sizes scale linearly; every dimension has a floor so a
+// tiny scale still exercises the real code paths.
+package benchscale
+
+import (
+	"os"
+	"strconv"
+)
+
+// EnvVar is the environment variable read by Scale.
+const EnvVar = "METASCRITIC_BENCH_SCALE"
+
+// Scale returns the configured benchmark scale factor (default 1). Values
+// that do not parse, or are not strictly positive, fall back to 1.
+func Scale() float64 {
+	v := os.Getenv(EnvVar)
+	if v == "" {
+		return 1
+	}
+	s, err := strconv.ParseFloat(v, 64)
+	if err != nil || s <= 0 {
+		return 1
+	}
+	return s
+}
+
+// N returns base scaled by Scale(), floored at min.
+func N(base, min int) int {
+	n := int(float64(base) * Scale())
+	if n < min {
+		n = min
+	}
+	return n
+}

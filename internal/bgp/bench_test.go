@@ -3,6 +3,8 @@ package bgp
 import (
 	"math/rand"
 	"testing"
+
+	"metascritic/internal/benchscale"
 )
 
 func benchTopology(n int) *Topology {
@@ -11,27 +13,32 @@ func benchTopology(n int) *Topology {
 }
 
 func BenchmarkPropagate(b *testing.B) {
-	top := benchTopology(1500)
+	n := benchscale.N(30000, 1500)
+	top := benchTopology(n)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		top.PropagateFrom(i % 1500)
+		top.PropagateFrom(i % n)
 	}
 }
 
 func BenchmarkSimulateHijack(b *testing.B) {
-	top := benchTopology(1500)
+	n := benchscale.N(30000, 1500)
+	top := benchTopology(n)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		top.SimulateHijack([]int{i % 1500, (i + 7) % 1500}, []int{(i + 100) % 1500})
+		top.SimulateHijack([]int{i % n, (i + 7) % n}, []int{(i + 100) % n})
 	}
 }
 
 func BenchmarkVisibleLinks(b *testing.B) {
-	top := benchTopology(600)
+	n := benchscale.N(12000, 600)
+	top := benchTopology(n)
 	monitors := []int{0, 1, 2, 3, 4}
 	dests := make([]int, 100)
 	for i := range dests {
-		dests[i] = i * 6 % 600
+		dests[i] = i * 6 % n
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

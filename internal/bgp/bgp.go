@@ -20,7 +20,6 @@
 package bgp
 
 import (
-	"container/heap"
 	"math"
 	"sync"
 
@@ -236,12 +235,12 @@ func (t *Topology) Propagate(origins []Origin) []Route {
 	}
 	for q := int32(0); q < int32(n); q++ {
 		if custDist[q] != unreached || peerDist[q] != unreached {
-			heap.Push(pq, node{q, exportLen(q)})
+			pq.push(node{q, exportLen(q)})
 		}
 	}
 	settled := make([]bool, n)
-	for pq.Len() > 0 {
-		nd := heap.Pop(pq).(node)
+	for len(*pq) > 0 {
+		nd := pq.pop()
 		q := nd.id
 		if settled[q] || exportLen(q) != nd.dist {
 			continue
@@ -252,7 +251,7 @@ func (t *Topology) Propagate(origins []Origin) []Route {
 			if cand < provDist[c] {
 				provDist[c] = cand
 				if custDist[c] == unreached && peerDist[c] == unreached {
-					heap.Push(pq, node{c, cand})
+					pq.push(node{c, cand})
 				}
 			}
 		}
@@ -331,41 +330,68 @@ func Path(routes []Route, from int) []int {
 }
 
 // RouteCache computes and memoizes per-destination propagation results.
-// It is safe for concurrent use: propagation is deterministic per
-// destination, so racing computations of the same destination agree and
-// the first stored result wins. Callers must treat returned routes as
-// read-only.
+// It is safe for concurrent use, and concurrent misses on the same
+// destination are deduplicated singleflight-style: the first caller runs
+// Propagate, every other caller blocks on that in-flight computation
+// instead of duplicating the whole run — under the multi-metro engine many
+// metros ask for the same transit destinations at once. Callers must treat
+// returned routes as read-only.
 type RouteCache struct {
 	t  *Topology
-	mu sync.RWMutex
-	// cache guarded by mu.
-	cache map[int][]Route
+	mu sync.Mutex
+	// cache and inflight guarded by mu.
+	cache    map[int][]Route
+	inflight map[int]*routeFlight
+	computed int64 // number of Propagate runs actually executed
+}
+
+// routeFlight is one in-progress propagation; routes is written before done
+// is closed and read only after it.
+type routeFlight struct {
+	done   chan struct{}
+	routes []Route
 }
 
 // NewRouteCache returns a cache over t.
 func NewRouteCache(t *Topology) *RouteCache {
-	return &RouteCache{t: t, cache: map[int][]Route{}}
+	return &RouteCache{t: t, cache: map[int][]Route{}, inflight: map[int]*routeFlight{}}
 }
 
 // RoutesTo returns (computing if needed) all ASes' best routes toward dest.
 func (c *RouteCache) RoutesTo(dest int) []Route {
-	c.mu.RLock()
-	r, ok := c.cache[dest]
-	c.mu.RUnlock()
-	if ok {
+	c.mu.Lock()
+	if r, ok := c.cache[dest]; ok {
+		c.mu.Unlock()
 		return r
 	}
-	// Propagate outside the lock; concurrent misses on the same dest
-	// duplicate work but produce identical routes.
-	r = c.t.PropagateFrom(dest)
-	c.mu.Lock()
-	if prev, ok := c.cache[dest]; ok {
-		r = prev
-	} else {
-		c.cache[dest] = r
+	if fl, ok := c.inflight[dest]; ok {
+		// Someone else is already propagating this destination: wait for
+		// their result instead of duplicating the run.
+		c.mu.Unlock()
+		<-fl.done
+		return fl.routes
 	}
+	fl := &routeFlight{done: make(chan struct{})}
+	c.inflight[dest] = fl
+	c.computed++
 	c.mu.Unlock()
-	return r
+
+	fl.routes = c.t.PropagateFrom(dest)
+
+	c.mu.Lock()
+	c.cache[dest] = fl.routes
+	delete(c.inflight, dest)
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.routes
+}
+
+// Computed returns the number of propagation runs executed so far — the
+// cache's miss count after deduplication (used by tests and run stats).
+func (c *RouteCache) Computed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.computed
 }
 
 // Topology returns the underlying topology.
@@ -476,18 +502,51 @@ type node struct {
 	dist int32
 }
 
+// nodeHeap is a typed binary min-heap on dist. It replaces the earlier
+// container/heap implementation: Push/Pop through the heap.Interface box
+// every node in an interface{}, which on the Dijkstra phase of Propagate
+// meant one allocation per queue operation. The typed sift loops keep the
+// queue allocation-free after the backing array warms up.
 type nodeHeap []node
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(node)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *nodeHeap) push(x node) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].dist <= s[i].dist {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *nodeHeap) pop() node {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		small := l
+		if r := l + 1; r < last && s[r].dist < s[l].dist {
+			small = r
+		}
+		if s[i].dist <= s[small].dist {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
 }
 
 func fill32(n int, v int32) []int32 {

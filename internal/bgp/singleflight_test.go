@@ -1,0 +1,57 @@
+package bgp
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestRouteCacheSingleflight checks that concurrent misses on the same
+// destination run Propagate exactly once per destination, and that every
+// caller sees the shared result.
+func TestRouteCacheSingleflight(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	top := randomTopology(rng, 300)
+	cache := NewRouteCache(top)
+
+	const callers = 16
+	dests := []int{5, 17, 42}
+	results := make([][]Route, callers*len(dests))
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for w := 0; w < callers; w++ {
+		for di, d := range dests {
+			done.Add(1)
+			go func(slot, dest int) {
+				defer done.Done()
+				start.Wait() // maximize concurrent misses
+				results[slot] = cache.RoutesTo(dest)
+			}(w*len(dests)+di, d)
+		}
+	}
+	start.Done()
+	done.Wait()
+
+	if got := cache.Computed(); got != int64(len(dests)) {
+		t.Fatalf("Computed = %d, want %d (one Propagate per destination)", got, len(dests))
+	}
+	for w := 0; w < callers; w++ {
+		for di := range dests {
+			a := results[di]
+			b := results[w*len(dests)+di]
+			if len(a) != len(b) {
+				t.Fatalf("result length mismatch for dest %d", dests[di])
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("caller %d saw different routes for dest %d at AS %d", w, dests[di], i)
+				}
+			}
+		}
+	}
+	// A warm hit must not count as a new computation.
+	cache.RoutesTo(dests[0])
+	if got := cache.Computed(); got != int64(len(dests)) {
+		t.Fatalf("warm hit recomputed: Computed = %d", got)
+	}
+}

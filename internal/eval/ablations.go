@@ -72,11 +72,7 @@ func AblationFeatureWeight(h *Harness) ([]FeatureWeightRow, *Table) {
 		for _, kind := range []SplitKind{Stratified, CompletelyOut} {
 			rng := rand.New(rand.NewSource(h.Seed + 301))
 			holdout := buildHoldout(est.Mask, kind, 0.2, rng)
-			work := est.Mask.Clone()
-			for _, hh := range holdout {
-				work.Unset(hh[0], hh[1])
-			}
-			completed := metascritic.CompleteWith(est.E, work, features, res.Rank, res.Lambda, wgt)
+			completed := metascritic.CompleteWithout(est.E, est.Mask, features, holdout, res.Rank, res.Lambda, wgt)
 			var scores []float64
 			var labels []bool
 			for _, hh := range holdout {

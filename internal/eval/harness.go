@@ -270,12 +270,8 @@ func (h *Harness) EvaluateSplit(res *metascritic.Result, kind SplitKind, frac fl
 	est := res.Estimate
 	rng := rand.New(rand.NewSource(seed))
 	holdout := buildHoldout(est.Mask, kind, frac, rng)
-	work := est.Mask.Clone()
-	for _, hh := range holdout {
-		work.Unset(hh[0], hh[1])
-	}
 	features := metascritic.BuildFeatures(h.W.G, res.Members)
-	completed := completeLike(res, est.E, work, features)
+	completed := completeLike(res, est.E, est.Mask, holdout, features)
 
 	ev := SplitEval{Kind: kind}
 	for _, hh := range holdout {
@@ -294,9 +290,9 @@ func (h *Harness) EvaluateSplit(res *metascritic.Result, kind SplitKind, frac fl
 }
 
 // completeLike re-runs the final completion with the result's
-// hyperparameters over a reduced mask.
-func completeLike(res *metascritic.Result, E *mat.Matrix, mask *mat.Mask, features *mat.Matrix) *mat.Matrix {
-	return metascritic.CompleteWith(E, mask, features, res.Rank, res.Lambda, res.FeatureWeight)
+// hyperparameters, with the holdout entries overlaid out of the mask.
+func completeLike(res *metascritic.Result, E *mat.Matrix, mask *mat.Mask, holdout [][2]int, features *mat.Matrix) *mat.Matrix {
+	return metascritic.CompleteWithout(E, mask, features, holdout, res.Rank, res.Lambda, res.FeatureWeight)
 }
 
 func buildHoldout(mask *mat.Mask, kind SplitKind, frac float64, rng *rand.Rand) [][2]int {

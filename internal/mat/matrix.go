@@ -195,16 +195,29 @@ func (m *Matrix) Symmetrize() {
 // is not (numerically) positive definite.
 var ErrNotPositiveDefinite = errors.New("mat: matrix not positive definite")
 
-// CholeskySolve solves A x = b for symmetric positive-definite A, in place
-// destroying a copy of A. It is the workhorse of the ALS normal equations
-// (AᵀA + λI) x = Aᵀb where λ > 0 guarantees positive definiteness.
+// CholeskySolve solves A x = b for symmetric positive-definite A. It is the
+// workhorse of the ALS normal equations (AᵀA + λI) x = Aᵀb where λ > 0
+// guarantees positive definiteness.
 func CholeskySolve(a *Matrix, b []float64) ([]float64, error) {
+	x := make([]float64, a.Rows)
+	if err := CholeskySolveScratch(a, b, make([]float64, len(a.Data)), x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// CholeskySolveScratch is the allocation-free form of CholeskySolve for hot
+// loops that solve many identically-sized systems (the per-row ALS solves):
+// lfac (len n²) receives the factorization and out (len n) the solution.
+// The arithmetic is identical to CholeskySolve, so results are bit-equal.
+func CholeskySolveScratch(a *Matrix, b, lfac, out []float64) error {
 	n := a.Rows
-	if a.Cols != n || len(b) != n {
-		panic("mat: CholeskySolve dimension mismatch")
+	if a.Cols != n || len(b) != n || len(lfac) < n*n || len(out) != n {
+		panic("mat: CholeskySolveScratch dimension mismatch")
 	}
 	// Factor A = L Lᵀ.
-	l := a.Clone()
+	l := Matrix{Rows: n, Cols: n, Data: lfac[:n*n]}
+	copy(l.Data, a.Data)
 	for j := 0; j < n; j++ {
 		d := l.At(j, j)
 		for k := 0; k < j; k++ {
@@ -212,7 +225,7 @@ func CholeskySolve(a *Matrix, b []float64) ([]float64, error) {
 			d -= v * v
 		}
 		if d <= 0 {
-			return nil, ErrNotPositiveDefinite
+			return ErrNotPositiveDefinite
 		}
 		d = math.Sqrt(d)
 		l.Set(j, j, d)
@@ -224,25 +237,24 @@ func CholeskySolve(a *Matrix, b []float64) ([]float64, error) {
 			l.Set(i, j, s/d)
 		}
 	}
-	// Forward substitution L y = b.
-	y := make([]float64, n)
+	// Forward substitution L y = b, writing y into out.
 	for i := 0; i < n; i++ {
 		s := b[i]
 		for k := 0; k < i; k++ {
-			s -= l.At(i, k) * y[k]
+			s -= l.At(i, k) * out[k]
 		}
-		y[i] = s / l.At(i, i)
+		out[i] = s / l.At(i, i)
 	}
-	// Back substitution Lᵀ x = y.
-	x := make([]float64, n)
+	// Back substitution Lᵀ x = y, in place: x[i] reads y[i] before
+	// overwriting it and only x[k] for k > i, which are already final.
 	for i := n - 1; i >= 0; i-- {
-		s := y[i]
+		s := out[i]
 		for k := i + 1; k < n; k++ {
-			s -= l.At(k, i) * x[k]
+			s -= l.At(k, i) * out[k]
 		}
-		x[i] = s / l.At(i, i)
+		out[i] = s / l.At(i, i)
 	}
-	return x, nil
+	return nil
 }
 
 // SymEigen computes the eigenvalues and eigenvectors of a symmetric matrix

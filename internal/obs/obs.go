@@ -489,8 +489,8 @@ func (e *Estimate) PairCounts() (posCount, negCount []int) {
 	posCount = make([]int, n)
 	negCount = make([]int, n)
 	for i := 0; i < n; i++ {
-		for _, j := range e.Mask.RowEntries(i) {
-			if e.E.At(i, j) > 0 {
+		for _, j := range e.Mask.RowView(i) {
+			if e.E.At(i, int(j)) > 0 {
 				posCount[i]++
 			} else {
 				negCount[i]++

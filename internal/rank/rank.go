@@ -50,7 +50,19 @@ type Config struct {
 	// surviving holdout population shrinks and skews toward easy rows,
 	// making its MSE incomparable with earlier rounds.
 	MinEvaluated int
-	Seed         int64
+	// ColdStart disables warm-starting: every rank candidate re-initializes
+	// its ALS factors from the seeded random draw, exactly as the original
+	// (pre-warm-start) loop did. The default (false) carries rank r's
+	// factors into rank r+1, padding the new factor dimensions with small
+	// seeded noise, so later ranks converge in fewer sweeps. Both paths are
+	// deterministic for a fixed Seed; they just converge along different
+	// trajectories, so flip this knob to reproduce pre-warm-start results.
+	ColdStart bool
+	// WarmIterations is the ALS sweep count used for warm-started rank
+	// candidates (rank 1, and every candidate when ColdStart is set, always
+	// uses the full Iterations). 0 picks max(3, Iterations/2).
+	WarmIterations int
+	Seed           int64
 	// Stop, when non-nil, is polled between rounds; when it returns true
 	// the loop aborts and returns the best rank found so far. The pipeline
 	// wires context cancellation through it.
@@ -127,6 +139,18 @@ func Estimate(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, topUp TopUpFu
 	n := mask.N()
 	minEval := cfg.MinEvaluated
 
+	// The completion problem (per-row observation structure) is built once
+	// and reused across every holdout draw and rank candidate; it is only
+	// rebuilt after topUp runs, since landed measurements mutate E/mask.
+	// Holdout draws are applied as overlay deltas, never as mask clones.
+	featArg := features
+	if cfg.FeatureWeight <= 0 {
+		featArg = nil
+	}
+	var prob *als.Problem
+	var ov *mat.Overlay
+	var warm *als.Factors // factors carried from the previous rank
+
 	res := Result{Rank: 1, BestMSE: math.Inf(1)}
 	bad := 0
 	for r := 1; r <= cfg.MaxRank; r++ {
@@ -144,8 +168,14 @@ func Estimate(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, topUp TopUpFu
 			}
 		}
 		added := 0
+		topUpRan := false
 		if total > 0 && topUp != nil {
 			added = topUp(need)
+			topUpRan = true
+		}
+		if prob == nil || topUpRan {
+			prob = als.NewProblem(E, mask, featArg)
+			ov = mat.NewOverlay(mask)
 		}
 
 		opts := als.Options{
@@ -155,9 +185,26 @@ func Estimate(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, topUp TopUpFu
 			Iterations:    cfg.Iterations,
 			Seed:          cfg.Seed + int64(r),
 		}
-		// Score the completion on holdout entries whose rows retain more
-		// than r entries (deficient rows are set aside, §3.2), averaging
-		// over several independent draws to denoise the stopping rule.
+		init := warm
+		if cfg.ColdStart {
+			init = nil
+		}
+		if init != nil {
+			// Warm-started candidates start near the previous rank's
+			// solution, so they need fewer sweeps to converge.
+			opts.Iterations = cfg.WarmIterations
+			if opts.Iterations <= 0 {
+				opts.Iterations = cfg.Iterations / 2
+				if opts.Iterations < 3 {
+					opts.Iterations = 3
+				}
+			}
+		}
+		// Score the completion on holdout entries whose rows retain at
+		// least the candidate rank's worth of entries — an entry is set
+		// aside when EITHER endpoint row is deficient (§3.2), since a
+		// deficient row on one side already under-determines the entry.
+		// Averaging over several draws denoises the stopping rule.
 		draws := cfg.HoldoutDraws
 		if draws < 1 {
 			draws = 1
@@ -166,13 +213,14 @@ func Estimate(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, topUp TopUpFu
 		cnt := 0
 		for d := 0; d < draws; d++ {
 			holdout := sampleHoldout(mask, cfg.HoldoutPerRow, rng)
-			work := mask.Clone()
+			ov.Reset()
 			for _, h := range holdout {
-				work.Unset(h[0], h[1])
+				ov.Remove(h[0], h[1])
 			}
-			completed := als.Complete(E, work, features, opts)
+			completed, factors := prob.CompleteFactors(opts, ov, init)
+			warm = factors // the last draw's factors seed rank r+1
 			for _, h := range holdout {
-				if work.RowCount(h[0]) < r && work.RowCount(h[1]) < r {
+				if ov.RowCount(h[0]) < r || ov.RowCount(h[1]) < r {
 					continue
 				}
 				diff := completed.At(h[0], h[1]) - E.At(h[0], h[1])

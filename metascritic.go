@@ -493,7 +493,14 @@ func (p *Pipeline) RunMetroContext(ctx context.Context, metro int, cfg Config) (
 	}
 	res.Lambda = opts.Lambda
 	res.FeatureWeight = opts.FeatureWeight
-	res.Ratings = als.Complete(est.E, est.Mask, features, opts)
+	// One completion problem backs both the final ratings and the λ-search
+	// holdout below (the holdout is an overlay, so the problem stays valid).
+	featArg := features
+	if opts.FeatureWeight <= 0 {
+		featArg = nil
+	}
+	prob := als.NewProblem(est.E, est.Mask, featArg)
+	res.Ratings = prob.Complete(opts, nil)
 	res.Timings.Completion = time.Since(phaseStart)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("metascritic: metro %d: completion aborted: %w", metro, err)
@@ -502,7 +509,7 @@ func (p *Pipeline) RunMetroContext(ctx context.Context, metro int, cfg Config) (
 	// λ search: hold out 20% of observed entries, score the completion on
 	// them, pick the F-maximizing threshold (§3.1).
 	phaseStart = time.Now()
-	res.Threshold = p.pickThreshold(est, features, opts, rng)
+	res.Threshold = p.pickThreshold(est, prob, opts, rng)
 	res.Timings.Threshold = time.Since(phaseStart)
 	return res, nil
 }
@@ -520,18 +527,41 @@ func CompleteWith(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, rank int,
 	})
 }
 
-// pickThreshold runs an internal stratified holdout to choose λ.
-func (p *Pipeline) pickThreshold(est *obs.Estimate, features *mat.Matrix, opts als.Options, rng *rand.Rand) float64 {
+// CompleteWithout is CompleteWith with the holdout entries removed from the
+// observation set — the evaluation-split primitive. The removals are
+// applied as an overlay, so the caller's mask is never cloned or mutated,
+// and the result is bit-identical to unsetting the entries from a copy.
+func CompleteWithout(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, holdout [][2]int, rank int, lambda, featureWeight float64) *mat.Matrix {
+	if featureWeight <= 0 {
+		features = nil
+	}
+	ov := mat.NewOverlay(mask)
+	for _, h := range holdout {
+		ov.Remove(h[0], h[1])
+	}
+	return als.NewProblem(E, mask, features).Complete(als.Options{
+		Rank:          rank,
+		Lambda:        lambda,
+		FeatureWeight: featureWeight,
+		Iterations:    15,
+		Seed:          1,
+	}, ov)
+}
+
+// pickThreshold runs an internal stratified holdout to choose λ. The
+// holdout is applied as an overlay on prob (the final completion problem),
+// so no mask clone or observation rebuild happens here.
+func (p *Pipeline) pickThreshold(est *obs.Estimate, prob *als.Problem, opts als.Options, rng *rand.Rand) float64 {
 	var holdout [][2]int
-	work := est.Mask.Clone()
+	ov := mat.NewOverlay(est.Mask)
 	n := est.Mask.N()
 	for i := 0; i < n; i++ {
 		entries := est.Mask.RowEntries(i)
 		rng.Shuffle(len(entries), func(a, b int) { entries[a], entries[b] = entries[b], entries[a] })
 		k := len(entries) / 5
 		for _, j := range entries[:k] {
-			if i < j && work.Has(i, j) {
-				work.Unset(i, j)
+			if i < j && ov.Has(i, j) {
+				ov.Remove(i, j)
 				holdout = append(holdout, [2]int{i, j})
 			}
 		}
@@ -539,7 +569,7 @@ func (p *Pipeline) pickThreshold(est *obs.Estimate, features *mat.Matrix, opts a
 	if len(holdout) < 5 {
 		return 0.3 // not enough data; the paper's max-F operating point
 	}
-	completed := als.Complete(est.E, work, features, opts)
+	completed := prob.Complete(opts, ov)
 	scores := make([]float64, len(holdout))
 	labels := make([]bool, len(holdout))
 	for k, h := range holdout {

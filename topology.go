@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"metascritic/internal/asgraph"
+	"metascritic/internal/mat"
 )
 
 // This file implements the two §5 frameworks for consuming metAScritic's
@@ -124,26 +125,28 @@ func (p *Pipeline) NewProbabilisticTopology(res *Result, seed int64) *Probabilis
 func (p *Pipeline) calibrationCurve(res *Result, seed int64) []CalibrationPoint {
 	est := res.Estimate
 	rng := rand.New(rand.NewSource(seed))
-	work := est.Mask.Clone()
+	ov := mat.NewOverlay(est.Mask)
 	type held struct {
 		i, j int
 		link bool
 	}
 	var holdout []held
+	var pairs [][2]int
 	n := est.Mask.N()
 	for i := 0; i < n; i++ {
 		entries := est.Mask.RowEntries(i)
 		rng.Shuffle(len(entries), func(a, b int) { entries[a], entries[b] = entries[b], entries[a] })
 		k := len(entries) / 5
 		for _, j := range entries[:k] {
-			if i < j && work.Has(i, j) {
-				work.Unset(i, j)
+			if i < j && ov.Has(i, j) {
+				ov.Remove(i, j)
 				holdout = append(holdout, held{i, j, est.E.At(i, j) > 0})
+				pairs = append(pairs, [2]int{i, j})
 			}
 		}
 	}
 	features := BuildFeatures(p.World.G, res.Members)
-	completed := CompleteWith(est.E, work, features, res.Rank, res.Lambda, res.FeatureWeight)
+	completed := CompleteWithout(est.E, est.Mask, features, pairs, res.Rank, res.Lambda, res.FeatureWeight)
 
 	var curve []CalibrationPoint
 	for thr := 0.0; thr <= 0.91; thr += 0.1 {
