@@ -4,12 +4,12 @@ GO ?= go
 # METASCRITIC_BENCH_SCALE, select the completion / rank-sweep / propagation
 # micro-benchmarks, record machine-readable results for later PRs to diff.
 BENCH_SCALE ?= 0.05
-BENCH_PATTERN = BenchmarkComplete|BenchmarkRankEstimate|BenchmarkPropagate$$
-BENCH_PKGS = ./internal/als ./internal/rank ./internal/bgp
-BENCH_OUT ?= BENCH_PR2.json
+BENCH_PATTERN = BenchmarkComplete|BenchmarkRankEstimate|BenchmarkPropagate$$|BenchmarkRunMetro
+BENCH_PKGS = . ./internal/als ./internal/rank ./internal/bgp
+BENCH_OUT ?= BENCH_PR3.json
 BENCH_BASELINE ?=
 
-.PHONY: build test check bench bench-engine clean
+.PHONY: build test check bench bench-engine race-measure clean
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,13 @@ bench:
 
 bench-engine:
 	$(GO) test -bench RunAll -benchtime 2x -run '^$$' ./internal/engine/
+
+# race-measure exercises the speculative measurement pipeline (fan-out,
+# ordered commit, prefetch, parallel tune/eval helpers) under the race
+# detector — the concurrency contract of measure.go is part of tier-1.
+race-measure:
+	$(GO) test -race . ./internal/traceroute/ ./internal/engine/ \
+		./internal/als/ ./internal/eval/ ./internal/mat/
 
 clean:
 	$(GO) clean ./...

@@ -15,6 +15,8 @@ package als
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"metascritic/internal/mat"
 )
@@ -132,7 +134,10 @@ type TuneResult struct {
 // holdout of observed entries (Appx. D.4 / [56]). Two problems back the
 // whole grid — a featureless one for the weight-0 points and a featured one
 // for the rest — so the observation structure is built twice, not once per
-// grid point.
+// grid point. The grid points are independent completions, so they are
+// scored on a bounded worker pool; the winner is then selected by a serial
+// scan in grid order, which keeps the result byte-identical to the
+// sequential search (ties keep the earliest grid point either way).
 func Tune(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, rank int, rng *rand.Rand) TuneResult {
 	// Build a holdout of ~10% of observed entries.
 	var entries [][2]int
@@ -158,18 +163,40 @@ func Tune(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, rank int, rng *ra
 		probF = NewProblem(E, mask, features)
 	}
 
-	best := TuneResult{MSE: math.Inf(1)}
+	type point struct{ lambda, fw float64 }
+	var grid []point
 	for _, lambda := range []float64{0.02, 0.08, 0.3} {
 		for _, fw := range []float64{0, 0.2, 0.5} {
-			p := probNoF
-			if fw > 0 && probF != nil {
-				p = probF
+			grid = append(grid, point{lambda, fw})
+		}
+	}
+	mses := make([]float64, len(grid))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(grid) {
+		workers = len(grid)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for gi := start; gi < len(grid); gi += workers {
+				pt := grid[gi]
+				p := probNoF
+				if pt.fw > 0 && probF != nil {
+					p = probF
+				}
+				opts := Options{Rank: rank, Lambda: pt.lambda, FeatureWeight: pt.fw, Iterations: 8, Seed: 1}
+				mses[gi] = holdoutMSEProblem(p, E, ov, holdout, opts)
 			}
-			opts := Options{Rank: rank, Lambda: lambda, FeatureWeight: fw, Iterations: 8, Seed: 1}
-			mse := holdoutMSEProblem(p, E, ov, holdout, opts)
-			if mse < best.MSE {
-				best = TuneResult{Lambda: lambda, FeatureWeight: fw, MSE: mse}
-			}
+		}(w)
+	}
+	wg.Wait()
+
+	best := TuneResult{MSE: math.Inf(1)}
+	for gi, pt := range grid {
+		if mses[gi] < best.MSE {
+			best = TuneResult{Lambda: pt.lambda, FeatureWeight: pt.fw, MSE: mses[gi]}
 		}
 	}
 	return best

@@ -386,6 +386,17 @@ func (c *RouteCache) RoutesTo(dest int) []Route {
 	return fl.routes
 }
 
+// Contains reports whether dest's routes are already cached. An in-flight
+// computation counts as absent: the caller may still want to join it via
+// RoutesTo, and a prefetcher that skips in-flight destinations would give
+// up the chance to block until they are warm.
+func (c *RouteCache) Contains(dest int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.cache[dest]
+	return ok
+}
+
 // Computed returns the number of propagation runs executed so far — the
 // cache's miss count after deduplication (used by tests and run stats).
 func (c *RouteCache) Computed() int64 {

@@ -197,6 +197,19 @@ func (e *Engine) RunAll(ctx context.Context, cfg Config) (*MultiResult, error) {
 				name := g.Metros[metro].Name
 				mcfg := cfg.Base
 				mcfg.Seed = MetroSeed(cfg.Base.Seed, metro)
+				if mcfg.MeasureWorkers == 0 && workers > 1 {
+					// Metros already run concurrently here, so split the
+					// machine between pool workers instead of letting every
+					// metro's measurement fan-out claim all of GOMAXPROCS.
+					// Results are invariant to the measurement worker count
+					// (the pipeline's determinism contract), so this only
+					// changes scheduling, never output.
+					if mw := runtime.GOMAXPROCS(0) / workers; mw > 1 {
+						mcfg.MeasureWorkers = mw
+					} else {
+						mcfg.MeasureWorkers = 1
+					}
+				}
 				usedPriors, priorMetros := false, 0
 				if cfg.SharePriors {
 					if pooled, n := e.priors.Pooled(); pooled != nil {
@@ -270,6 +283,7 @@ func (e *Engine) RunAll(ctx context.Context, cfg Config) (*MultiResult, error) {
 		out.Stats.Phases.RankLoop += stats[i].Phases.RankLoop
 		out.Stats.Phases.Completion += stats[i].Phases.Completion
 		out.Stats.Phases.Threshold += stats[i].Phases.Threshold
+		out.Stats.Phases.Measure.Merge(stats[i].Phases.Measure)
 	}
 	return out, nil
 }

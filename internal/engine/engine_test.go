@@ -100,6 +100,23 @@ func TestRunAllMatchesSequential(t *testing.T) {
 	if mr.Stats.Workers < 1 {
 		t.Fatalf("workers = %d", mr.Stats.Workers)
 	}
+	// The aggregated measurement-pipeline stats must tie out: per-metro
+	// committed counts sum to the batch's measurement total, and the
+	// batch-level Merge reproduces that sum.
+	committed := 0
+	for _, ms := range mr.Stats.PerMetro {
+		if ms.Phases.Measure.Committed != ms.Measurements {
+			t.Errorf("metro %d: Measure.Committed %d != Measurements %d",
+				ms.Metro, ms.Phases.Measure.Committed, ms.Measurements)
+		}
+		committed += ms.Phases.Measure.Committed
+	}
+	if committed != mr.Stats.Measurements {
+		t.Errorf("summed Measure.Committed %d != Stats.Measurements %d", committed, mr.Stats.Measurements)
+	}
+	if mr.Stats.Phases.Measure.Committed != committed {
+		t.Errorf("aggregated Measure.Committed %d != summed %d", mr.Stats.Phases.Measure.Committed, committed)
+	}
 }
 
 func TestRunAllSeedsDifferPerMetro(t *testing.T) {

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -60,6 +61,32 @@ func TestSplitsBehave(t *testing.T) {
 	co := h.EvaluateSplit(res, CompletelyOut, 0.2, 7)
 	if st.AUPRC+0.15 < co.AUPRC {
 		t.Fatalf("stratified AUPRC %.3f unexpectedly far below completely-out %.3f", st.AUPRC, co.AUPRC)
+	}
+}
+
+// TestEvaluateSplitsMatchesSequential pins the parallel split scorer's
+// contract: spec-order output, byte-identical to sequential EvaluateSplit.
+func TestEvaluateSplitsMatchesSequential(t *testing.T) {
+	h := testHarness(t)
+	res := h.RunPrimaries()[0]
+	specs := []SplitSpec{
+		{Kind: Stratified, Frac: 0.2, Seed: 11},
+		{Kind: RandomSplit, Frac: 0.2, Seed: 12},
+		{Kind: CompletelyOut, Frac: 0.2, Seed: 13},
+		{Kind: Stratified, Frac: 0.3, Seed: 11},
+	}
+	got := h.EvaluateSplits(res, specs)
+	if len(got) != len(specs) {
+		t.Fatalf("got %d evals for %d specs", len(got), len(specs))
+	}
+	for i, s := range specs {
+		want := h.EvaluateSplit(res, s.Kind, s.Frac, s.Seed)
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("spec %d (%v): parallel eval differs from sequential", i, s)
+		}
+	}
+	if len(h.EvaluateSplits(res, nil)) != 0 {
+		t.Fatalf("empty spec list should give empty output")
 	}
 }
 

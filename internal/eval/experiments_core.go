@@ -129,8 +129,11 @@ func Fig3(h *Harness) ([]Fig3Result, *Table) {
 	var out []Fig3Result
 	for _, res := range h.RunPrimaries() {
 		fr := Fig3Result{Metro: h.MetroName(res.Metro)}
-		fr.Stratified = h.EvaluateSplit(res, Stratified, 0.2, h.Seed+int64(res.Metro))
-		fr.CompletelyOut = h.EvaluateSplit(res, CompletelyOut, 0.2, h.Seed+int64(res.Metro))
+		evs := h.EvaluateSplits(res, []SplitSpec{
+			{Kind: Stratified, Frac: 0.2, Seed: h.Seed + int64(res.Metro)},
+			{Kind: CompletelyOut, Frac: 0.2, Seed: h.Seed + int64(res.Metro)},
+		})
+		fr.Stratified, fr.CompletelyOut = evs[0], evs[1]
 		fr.StratAUC = stats.AUC(fr.Stratified.Scores, fr.Stratified.Labels)
 		out = append(out, fr)
 		tbl.AddRow(fr.Metro, "Stratified", F(fr.Stratified.AUPRC), F(fr.Stratified.Precision), F(fr.Stratified.Recall), F(fr.StratAUC))

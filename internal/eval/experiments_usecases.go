@@ -549,9 +549,13 @@ func Table4(h *Harness) ([]Table4Row, *Table) {
 			Splits:         map[SplitKind][2]float64{},
 			ExternalRecall: map[string]float64{},
 		}
-		for _, kind := range []SplitKind{Stratified, RandomSplit, CompletelyOut} {
-			ev := h.EvaluateSplit(res, kind, 0.2, h.Seed+int64(res.Metro)+int64(kind))
-			row.Splits[kind] = [2]float64{ev.Recall, ev.Precision}
+		kinds := []SplitKind{Stratified, RandomSplit, CompletelyOut}
+		var specs []SplitSpec
+		for _, kind := range kinds {
+			specs = append(specs, SplitSpec{Kind: kind, Frac: 0.2, Seed: h.Seed + int64(res.Metro) + int64(kind)})
+		}
+		for i, ev := range h.EvaluateSplits(res, specs) {
+			row.Splits[kinds[i]] = [2]float64{ev.Recall, ev.Precision}
 		}
 		for _, vs := range h.ValidationSets(res, h.Seed+int64(res.Metro)) {
 			p, r := vs.Score(res, res.Threshold)

@@ -8,8 +8,10 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"metascritic"
 	"metascritic/internal/asgraph"
@@ -287,6 +289,44 @@ func (h *Harness) EvaluateSplit(res *metascritic.Result, kind SplitKind, frac fl
 	ev.Precision = c.Precision()
 	ev.Recall = c.Recall()
 	return ev
+}
+
+// SplitSpec names one cross-validation evaluation: a holdout scheme, the
+// fraction of entries to remove, and the seed of the draw.
+type SplitSpec struct {
+	Kind SplitKind
+	Frac float64
+	Seed int64
+}
+
+// EvaluateSplits scores every spec against the same result on a bounded
+// worker pool and returns the evaluations in spec order. Each evaluation is
+// an independent holdout draw plus a completion (completeLike), so they
+// parallelize the same way the measurement fan-out does: pure work fans
+// out, results land in a spec-indexed slice, and the output is byte-
+// identical to calling EvaluateSplit sequentially for each spec.
+func (h *Harness) EvaluateSplits(res *metascritic.Result, specs []SplitSpec) []SplitEval {
+	out := make([]SplitEval, len(specs))
+	if len(specs) == 0 {
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for i := start; i < len(specs); i += workers {
+				s := specs[i]
+				out[i] = h.EvaluateSplit(res, s.Kind, s.Frac, s.Seed)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
 }
 
 // completeLike re-runs the final completion with the result's

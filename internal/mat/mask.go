@@ -89,8 +89,10 @@ func (m *Mask) RowCount(i int) int { return len(m.rows[i]) }
 
 // RowEntries returns the observed column indices of row i, sorted. Sorted
 // output keeps every consumer deterministic (several shuffle the result
-// with a seeded RNG). The returned slice is freshly allocated; use RowView
-// when a read-only view suffices.
+// with a seeded RNG). The returned slice is freshly allocated — callers
+// may reorder or mutate it freely without corrupting the mask's sorted-row
+// CSR invariant (pinned by TestRowEntriesReturnsCopy). Use RowView when a
+// read-only view suffices.
 func (m *Mask) RowEntries(i int) []int {
 	row := m.rows[i]
 	out := make([]int, len(row))

@@ -184,3 +184,38 @@ func TestMaskPropertyVsReference(t *testing.T) {
 		}
 	}
 }
+
+// TestRowEntriesReturnsCopy pins the documented contract that RowEntries
+// returns a freshly-allocated slice: callers (e.g. the pipeline's
+// threshold picker and the eval holdout builders) shuffle the result with
+// seeded RNGs, and that must never disturb the mask's sorted-row CSR
+// invariant.
+func TestRowEntriesReturnsCopy(t *testing.T) {
+	n := 24
+	m := NewMask(n)
+	rng := rand.New(rand.NewSource(5))
+	for k := 0; k < 120; k++ {
+		m.Set(rng.Intn(n), rng.Intn(n))
+	}
+	for i := 0; i < n; i++ {
+		before := append([]int32(nil), m.RowView(i)...)
+		got := m.RowEntries(i)
+		// Mutate the returned slice as hard as possible.
+		rng.Shuffle(len(got), func(a, b int) { got[a], got[b] = got[b], got[a] })
+		for k := range got {
+			got[k] = -1
+		}
+		view := m.RowView(i)
+		if len(view) != len(before) {
+			t.Fatalf("row %d: length changed after mutating RowEntries result", i)
+		}
+		for k := range view {
+			if view[k] != before[k] {
+				t.Fatalf("row %d: mask storage changed after mutating RowEntries result: %v -> %v", i, before, view)
+			}
+			if k > 0 && view[k-1] >= view[k] {
+				t.Fatalf("row %d: sorted-row invariant broken: %v", i, view)
+			}
+		}
+	}
+}

@@ -451,6 +451,12 @@ func (s *Selector) pickVP(vps []VP, asI int, rng *rand.Rand) VP {
 // exploitation/exploration over rows that still need entries: need[i] is
 // the number of additional entries row i requires (rows with need <= 0 are
 // skipped). Fill state is updated optimistically within the batch.
+//
+// Ordered-commit contract: the returned batch order is significant. The
+// measurement pipeline may execute the batch's traceroutes concurrently,
+// but it calls Report (and consumes the selector's RNG) strictly in batch
+// order, so the selector's statistics — and every batch SelectBatch
+// chooses afterwards — are identical to a serial run.
 func (s *Selector) SelectBatch(size int, eps float64, rowFill []int, need []int, has func(i, j int) bool, rng *rand.Rand) []Measurement {
 	fill := append([]int(nil), rowFill...)
 	pending := map[[2]int]bool{}
@@ -573,6 +579,11 @@ func rowsByFill(fill, need []int, rng *rand.Rand) []int {
 
 // Report feeds back whether a measurement was informative for its target
 // entry, updating strategy statistics, per-entry penalties and VP scores.
+// Report is not safe for concurrent use and its call order shapes future
+// SelectBatch decisions; the measurement pipeline therefore serializes
+// Report calls on the committing goroutine, in batch order, even when the
+// traceroutes themselves ran concurrently (see the ordered-commit contract
+// on SelectBatch).
 func (s *Selector) Report(m Measurement, informative bool) {
 	id := m.Strat.ID()
 	s.stratTrial[id]++

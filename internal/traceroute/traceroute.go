@@ -10,6 +10,8 @@
 package traceroute
 
 import (
+	"context"
+	"sync"
 	"sync/atomic"
 
 	"metascritic/internal/asgraph"
@@ -65,6 +67,52 @@ func NewEngine(w *netsim.World) *Engine {
 		Cache:       bgp.NewRouteCache(bgp.FromGraph(w.G)),
 		HopLossRate: 0.1,
 	}
+}
+
+// PrefetchRoutes warms the engine's route cache for the distinct,
+// not-yet-cached destinations in dests, computing propagations on up to
+// workers concurrent goroutines. It is the batch-level warm-up of the
+// speculative measurement pipeline: a fan-out whose destinations are
+// already cached never serializes on singleflight propagation. Prefetching
+// issues no traceroutes (the Issued counter is untouched) and returns the
+// number of destinations actually warmed. A nil ctx is treated as
+// non-cancellable.
+func (e *Engine) PrefetchRoutes(ctx context.Context, dests []int, workers int) int {
+	var todo []int
+	seen := make(map[int]bool, len(dests))
+	for _, d := range dests {
+		if seen[d] || e.Cache.Contains(d) {
+			continue
+		}
+		seen[d] = true
+		todo = append(todo, d)
+	}
+	if len(todo) == 0 {
+		return 0
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(todo) || (ctx != nil && ctx.Err() != nil) {
+					return
+				}
+				e.Cache.RoutesTo(todo[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return len(todo)
 }
 
 // Run issues one traceroute from a probe in vpAS at vpMetro toward an

@@ -1,0 +1,221 @@
+package metascritic
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// measureTestConfig is a laptop-scale config that still exercises
+// bootstrap, several targeted batches and the threshold search.
+func measureTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.BatchSize = 60
+	cfg.MaxMeasurements = 1200
+	cfg.Rank.MaxRank = 6
+	cfg.Rank.Iterations = 4
+	return cfg
+}
+
+// seededPipeline builds a pipeline over smallWorld(seed) with public
+// measurements already ingested.
+func seededPipeline(seed int64) *Pipeline {
+	w := smallWorld(seed)
+	p := NewPipeline(w)
+	rng := rand.New(rand.NewSource(1))
+	p.SeedPublicMeasurements(6, rng)
+	return p
+}
+
+// TestRunMetroParallelDeterminism pins the pipeline's central contract:
+// with speculative fan-out enabled, every Result field except the Timings
+// telemetry is byte-identical to the MeasureWorkers=1 serial path — across
+// seeds, metros and worker counts.
+func TestRunMetroParallelDeterminism(t *testing.T) {
+	for _, seed := range []int64{3, 9} {
+		base := seededPipeline(seed)
+		for _, metroName := range []string{"Tokyo", "Osaka"} {
+			metro := base.World.G.MetroOfName(metroName).Index
+			results := map[int]*Result{}
+			for _, workers := range []int{1, 4} {
+				cfg := measureTestConfig()
+				cfg.MeasureWorkers = workers
+				res, err := base.Snapshot().RunMetroContext(context.Background(), metro, cfg)
+				if err != nil {
+					t.Fatalf("seed %d metro %s workers %d: %v", seed, metroName, workers, err)
+				}
+				if res.Measurements == 0 {
+					t.Fatalf("seed %d metro %s workers %d: no measurements", seed, metroName, workers)
+				}
+				ms := res.Timings.Measure
+				if ms.Workers != workers {
+					t.Fatalf("MeasureStats.Workers = %d, want %d", ms.Workers, workers)
+				}
+				if ms.Committed != res.Measurements {
+					t.Fatalf("workers %d: Committed %d != Measurements %d", workers, ms.Committed, res.Measurements)
+				}
+				if ms.Launched != ms.Committed {
+					// No cancellation and the window never exceeds the
+					// budget, so every launched trace commits.
+					t.Fatalf("workers %d: Launched %d != Committed %d", workers, ms.Launched, ms.Committed)
+				}
+				if workers == 1 && ms.Batches != 0 {
+					t.Fatalf("serial run went through the fan-out path (%d batches)", ms.Batches)
+				}
+				if workers > 1 && ms.Batches == 0 {
+					t.Fatalf("parallel run never used the fan-out path")
+				}
+				// Timings (including MeasureStats) are telemetry, outside
+				// the determinism contract.
+				res.Timings = PhaseTimings{}
+				results[workers] = res
+			}
+			if !reflect.DeepEqual(results[1], results[4]) {
+				t.Fatalf("seed %d metro %s: parallel result differs from serial", seed, metroName)
+			}
+			// The sorted-row CSR invariant must survive the full run,
+			// including pickThreshold's shuffling of RowEntries results.
+			mask := results[4].Estimate.Mask
+			for i := 0; i < mask.N(); i++ {
+				row := mask.RowView(i)
+				for k := 1; k < len(row); k++ {
+					if row[k-1] >= row[k] {
+						t.Fatalf("mask row %d not strictly sorted after run: %v", i, row)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunMetroBudgetUnderSpeculation forces a budget far smaller than the
+// bootstrap plan so the speculative window must truncate: the over-budget
+// tail may never be launched, counted or committed.
+func TestRunMetroBudgetUnderSpeculation(t *testing.T) {
+	p := seededPipeline(6)
+	publicIssued := p.Engine.Issued()
+	metro := p.World.G.MetroOfName("Tokyo").Index
+	cfg := measureTestConfig()
+	cfg.MaxMeasurements = 37 // far below the bootstrap plan size
+	cfg.MeasureWorkers = 4
+	res, err := p.Snapshot().RunMetroContext(context.Background(), metro, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measurements != cfg.MaxMeasurements {
+		t.Fatalf("Measurements = %d, want exactly the budget %d", res.Measurements, cfg.MaxMeasurements)
+	}
+	ms := res.Timings.Measure
+	if ms.Committed != cfg.MaxMeasurements {
+		t.Fatalf("Committed = %d, want %d", ms.Committed, cfg.MaxMeasurements)
+	}
+	if ms.Launched != cfg.MaxMeasurements {
+		t.Fatalf("Launched = %d, want %d (over-budget tail must never launch)", ms.Launched, cfg.MaxMeasurements)
+	}
+	if ms.Discarded == 0 {
+		t.Fatalf("expected a discarded over-budget tail, got none")
+	}
+	// The engine counts every traceroute actually simulated: exactly the
+	// public seed plus the budget — speculation never over-issues here.
+	if got := p.Engine.Issued() - publicIssued; got != cfg.MaxMeasurements {
+		t.Fatalf("engine issued %d targeted traceroutes, want %d", got, cfg.MaxMeasurements)
+	}
+	if len(res.Calibrations) != res.Measurements {
+		t.Fatalf("calibrations %d != measurements %d", len(res.Calibrations), res.Measurements)
+	}
+}
+
+// countdownCtx is a context whose Err flips to Canceled after n polls —
+// a deterministic way to land cancellation in the middle of a fan-out
+// (timer-based cancellation would race the run's progress).
+type countdownCtx struct {
+	left atomic.Int64
+	done chan struct{}
+	once sync.Once
+}
+
+func newCountdownCtx(n int64) *countdownCtx {
+	c := &countdownCtx{done: make(chan struct{})}
+	c.left.Store(n)
+	return c
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Done() <-chan struct{}       { return c.done }
+func (c *countdownCtx) Value(any) any               { return nil }
+func (c *countdownCtx) Err() error {
+	if c.left.Add(-1) < 0 {
+		c.once.Do(func() { close(c.done) })
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestRunMetroParallelCancellation cancels mid-fan-out and checks the
+// pipeline's cleanup contract: a prompt error wrapping ctx.Err(),
+// speculative traces discarded without being committed or counted against
+// the budget, the base store untouched, and no corruption of shared state
+// (a fresh snapshot still reproduces the uncancelled run exactly).
+func TestRunMetroParallelCancellation(t *testing.T) {
+	base := seededPipeline(7)
+	metro := base.World.G.MetroOfName("Tokyo").Index
+	cfg := measureTestConfig()
+	cfg.MeasureWorkers = 4
+
+	before, err := base.Snapshot().RunMetroContext(context.Background(), metro, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseEstimate := base.Store.Estimate(metro, base.World.G.Metros[metro].Members, cfg.NegPolicy)
+	issuedBefore := base.Engine.Issued()
+
+	// 40 polls: past the entry checks, inside the bootstrap fan-out.
+	ctx := newCountdownCtx(40)
+	res, err := base.Snapshot().RunMetroContext(ctx, metro, cfg)
+	if err == nil {
+		t.Fatalf("expected cancellation error, got result with %d measurements", res.Measurements)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+
+	// Budget may not be overrun by speculation even under cancellation:
+	// the window is capped at the budget before any trace launches.
+	if got := base.Engine.Issued() - issuedBefore; got > cfg.MaxMeasurements {
+		t.Fatalf("cancelled run issued %d traceroutes, budget is %d", got, cfg.MaxMeasurements)
+	}
+
+	// The snapshot isolated the cancelled run: the base store is unchanged.
+	after := base.Store.Estimate(metro, base.World.G.Metros[metro].Members, cfg.NegPolicy)
+	if !reflect.DeepEqual(baseEstimate, after) {
+		t.Fatalf("cancelled run leaked observations into the base store")
+	}
+
+	// Shared state (engine caches) survived intact: a fresh snapshot still
+	// reproduces the original run byte-for-byte.
+	again, err := base.Snapshot().RunMetroContext(context.Background(), metro, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before.Timings = PhaseTimings{}
+	again.Timings = PhaseTimings{}
+	if !reflect.DeepEqual(before, again) {
+		t.Fatalf("run after cancellation differs from run before it")
+	}
+}
+
+// TestMeasureStatsMerge pins the engine-side aggregation primitive.
+func TestMeasureStatsMerge(t *testing.T) {
+	a := MeasureStats{Workers: 2, Batches: 3, Launched: 10, Committed: 9, Discarded: 1, PrefetchedRoutes: 4, Wall: time.Second}
+	b := MeasureStats{Workers: 8, Batches: 1, Launched: 5, Committed: 5, PrefetchedRoutes: 2, Wall: time.Second}
+	a.Merge(b)
+	want := MeasureStats{Workers: 8, Batches: 4, Launched: 15, Committed: 14, Discarded: 1, PrefetchedRoutes: 6, Wall: 2 * time.Second}
+	if a != want {
+		t.Fatalf("Merge = %+v, want %+v", a, want)
+	}
+}

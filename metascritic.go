@@ -59,7 +59,13 @@ type Config struct {
 	// Tune enables the hyperparameter grid search of Appx. D.4 before the
 	// final completion.
 	Tune bool
-	Seed int64
+	// MeasureWorkers bounds the speculative traceroute fan-out of the
+	// measurement pipeline (see measure.go): 0 means GOMAXPROCS, 1 is the
+	// exact legacy serial path, N > 1 runs each batch's traceroutes on up
+	// to N workers with an ordered commit. The resulting Result is
+	// byte-identical across worker counts.
+	MeasureWorkers int
+	Seed           int64
 }
 
 // DefaultConfig returns the paper's operating point.
@@ -92,8 +98,9 @@ type Calibration struct {
 	Strat  probe.Strategy
 }
 
-// PhaseTimings records wall-clock spent in each phase of a metro run, for
-// the engine's aggregated run statistics.
+// PhaseTimings records wall-clock spent in each phase of a metro run, plus
+// the measurement pipeline's concurrency statistics, for the engine's
+// aggregated run statistics.
 type PhaseTimings struct {
 	// Bootstrap covers the per-strategy calibration measurements (§3.3.2).
 	Bootstrap time.Duration
@@ -104,6 +111,10 @@ type PhaseTimings struct {
 	Completion time.Duration
 	// Threshold covers the λ holdout search (§3.1).
 	Threshold time.Duration
+	// Measure counts the speculative fan-out work of the measurement
+	// pipeline (batches, launched/committed/discarded traceroutes,
+	// prefetched routes). Its wall-clock is a subset of Bootstrap+RankLoop.
+	Measure MeasureStats
 }
 
 // Total returns the summed phase wall-clock.
@@ -308,6 +319,10 @@ func (p *Pipeline) RunMetro(metro int, cfg Config) *Result {
 // entry, metro, cfg) — traceroute simulation is hash-based and the only
 // RNG is seeded from cfg.Seed — so equal inputs give byte-identical
 // Results regardless of what other goroutines do to *other* pipelines.
+// cfg.MeasureWorkers is explicitly outside that function: batches of
+// traceroutes are simulated speculatively in parallel but committed in
+// batch order (measure.go), so every field of Result except the Timings
+// telemetry is byte-identical across worker counts.
 func (p *Pipeline) RunMetroContext(ctx context.Context, metro int, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("metascritic: metro %d: %w", metro, err)
@@ -335,21 +350,18 @@ func (p *Pipeline) RunMetroContext(ctx context.Context, metro int, cfg Config) (
 	est := p.Store.Estimate(metro, members, cfg.NegPolicy)
 	features := BuildFeatures(g, members)
 	budget := cfg.MaxMeasurements
+	workers := measureWorkers(cfg)
+	mstats := &res.Timings.Measure
+	mstats.Workers = workers
 
 	// Bootstrap phase (§3.3.2): calibrate per-strategy success rates with
 	// a few random measurements per strategy before targeted selection.
 	phaseStart := time.Now()
 	if boot > 0 && budget > 0 {
 		plan := sel.BootstrapPlan(boot, 600, rng)
-		for _, m := range plan {
-			if budget <= 0 || ctx.Err() != nil {
-				break
-			}
-			budget--
+		p.runPlan(ctx, workers, plan, &budget, mstats, func(m probe.Measurement, findings []obs.Finding) {
 			res.Measurements++
 			res.BootstrapMeasurements++
-			tr := p.Engine.RunTarget(m.VP.AS, m.VP.Metro, m.Target.AS, m.Target.Metro)
-			findings := p.Store.AddTrace(tr)
 			informative := false
 			want := asgraph.MakePair(m.LinkI, m.LinkJ)
 			for _, f := range findings {
@@ -365,7 +377,7 @@ func (p *Pipeline) RunMetroContext(ctx context.Context, metro int, cfg Config) (
 				P: m.P, Informative: informative, Exploration: true,
 				VP: m.VP, Target: m.Target, LinkI: m.LinkI, LinkJ: m.LinkJ, Strat: m.Strat,
 			})
-		}
+		})
 		fresh := p.Store.Estimate(metro, members, cfg.NegPolicy)
 		copy(est.E.Data, fresh.E.Data)
 		est.Mask.CopyFrom(fresh.Mask)
@@ -417,14 +429,8 @@ func (p *Pipeline) RunMetroContext(ctx context.Context, metro int, cfg Config) (
 			if len(batch) == 0 {
 				break
 			}
-			for _, m := range batch {
-				if budget <= 0 || ctx.Err() != nil {
-					break
-				}
-				budget--
+			p.runPlan(ctx, workers, batch, &budget, mstats, func(m probe.Measurement, findings []obs.Finding) {
 				res.Measurements++
-				tr := p.Engine.RunTarget(m.VP.AS, m.VP.Metro, m.Target.AS, m.Target.Metro)
-				findings := p.Store.AddTrace(tr)
 				informative, foundLink, foundNon := false, false, false
 				want := asgraph.MakePair(m.LinkI, m.LinkJ)
 				for _, f := range findings {
@@ -445,7 +451,7 @@ func (p *Pipeline) RunMetroContext(ctx context.Context, metro int, cfg Config) (
 					VP:          m.VP, Target: m.Target,
 					LinkI: m.LinkI, LinkJ: m.LinkJ, Strat: m.Strat,
 				})
-			}
+			})
 			refresh()
 			if est.Mask.Count() == countBefore {
 				// A whole batch without a single new entry: give the
@@ -556,6 +562,10 @@ func (p *Pipeline) pickThreshold(est *obs.Estimate, prob *als.Problem, opts als.
 	ov := mat.NewOverlay(est.Mask)
 	n := est.Mask.N()
 	for i := 0; i < n; i++ {
+		// RowEntries returns a freshly-allocated copy (its documented
+		// contract), so shuffling here cannot corrupt the mask's sorted-row
+		// CSR invariant; TestRowEntriesReturnsCopy and the end-to-end mask
+		// invariant test pin this.
 		entries := est.Mask.RowEntries(i)
 		rng.Shuffle(len(entries), func(a, b int) { entries[a], entries[b] = entries[b], entries[a] })
 		k := len(entries) / 5

@@ -40,6 +40,9 @@ func (c Config) Validate() error {
 	if c.BootstrapPerStrategy < 0 {
 		return fmt.Errorf("%w: BootstrapPerStrategy must be non-negative, got %d", ErrInvalidConfig, c.BootstrapPerStrategy)
 	}
+	if c.MeasureWorkers < 0 {
+		return fmt.Errorf("%w: MeasureWorkers must be non-negative (0 = GOMAXPROCS, 1 = serial), got %d", ErrInvalidConfig, c.MeasureWorkers)
+	}
 	if err := c.Rank.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
