@@ -4,12 +4,12 @@ GO ?= go
 # METASCRITIC_BENCH_SCALE, select the completion / rank-sweep / propagation
 # micro-benchmarks, record machine-readable results for later PRs to diff.
 BENCH_SCALE ?= 0.05
-BENCH_PATTERN = BenchmarkComplete|BenchmarkRankEstimate|BenchmarkPropagate$$|BenchmarkRunMetro
-BENCH_PKGS = . ./internal/als ./internal/rank ./internal/bgp
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_PATTERN = BenchmarkComplete|BenchmarkRankEstimate|BenchmarkPropagate$$|BenchmarkRunMetro|BenchmarkStore
+BENCH_PKGS = . ./internal/als ./internal/rank ./internal/bgp ./internal/obs
+BENCH_OUT ?= BENCH_PR4.json
 BENCH_BASELINE ?=
 
-.PHONY: build test check bench bench-engine race-measure clean
+.PHONY: build test check bench bench-engine race-measure race-obs clean
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,12 @@ bench-engine:
 race-measure:
 	$(GO) test -race . ./internal/traceroute/ ./internal/engine/ \
 		./internal/als/ ./internal/eval/ ./internal/mat/
+
+# race-obs exercises the evidence layer's copy-on-write snapshots under
+# the race detector: concurrent Clones plus divergent base/snapshot
+# mutation (the engine's isolation pattern) must be race-free.
+race-obs:
+	$(GO) test -race ./internal/obs/
 
 clean:
 	$(GO) clean ./...

@@ -140,6 +140,7 @@ func runAll(ctx context.Context, w *metascritic.World, p *metascritic.Pipeline, 
 	fmt.Printf("phase wall-clock (summed): bootstrap %v, rank loop %v, completion %v, threshold %v\n",
 		s.Phases.Bootstrap.Round(1e6), s.Phases.RankLoop.Round(1e6),
 		s.Phases.Completion.Round(1e6), s.Phases.Threshold.Round(1e6))
+	fmt.Printf("  of which estimate build/refresh: %v\n", s.Phases.Estimate.Round(1e6))
 	return nil
 }
 

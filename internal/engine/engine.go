@@ -8,7 +8,10 @@
 // production-scale roadmap items (sharding, batching, serving) build on.
 //
 // Determinism contract: every metro runs over an isolated snapshot of the
-// pipeline's observation store with a seed derived as MetroSeed(base,
+// pipeline's observation store (an O(1) copy-on-write handle since PR 4 —
+// workers snapshot concurrently without copying the accumulated evidence,
+// and each run lazily copies only what it mutates) with a seed derived as
+// MetroSeed(base,
 // metro), so with SharePriors off a batch's per-metro results are
 // byte-identical to sequential runs — RunAll(ctx, cfg).Results[m] equals
 // p.Snapshot().RunMetroContext(ctx, m, cfgWithSeed) — regardless of
@@ -283,6 +286,7 @@ func (e *Engine) RunAll(ctx context.Context, cfg Config) (*MultiResult, error) {
 		out.Stats.Phases.RankLoop += stats[i].Phases.RankLoop
 		out.Stats.Phases.Completion += stats[i].Phases.Completion
 		out.Stats.Phases.Threshold += stats[i].Phases.Threshold
+		out.Stats.Phases.Estimate += stats[i].Phases.Estimate
 		out.Stats.Phases.Measure.Merge(stats[i].Phases.Measure)
 	}
 	return out, nil

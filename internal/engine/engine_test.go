@@ -117,6 +117,18 @@ func TestRunAllMatchesSequential(t *testing.T) {
 	if mr.Stats.Phases.Measure.Committed != committed {
 		t.Errorf("aggregated Measure.Committed %d != summed %d", mr.Stats.Phases.Measure.Committed, committed)
 	}
+	// The Estimate phase (time building/refreshing E_m) must be measured
+	// per metro and aggregate across the batch like the other phases.
+	var estSum time.Duration
+	for _, ms := range mr.Stats.PerMetro {
+		if ms.Phases.Estimate <= 0 {
+			t.Errorf("metro %d: Phases.Estimate not recorded", ms.Metro)
+		}
+		estSum += ms.Phases.Estimate
+	}
+	if mr.Stats.Phases.Estimate != estSum {
+		t.Errorf("aggregated Phases.Estimate %v != summed %v", mr.Stats.Phases.Estimate, estSum)
+	}
 }
 
 func TestRunAllSeedsDifferPerMetro(t *testing.T) {

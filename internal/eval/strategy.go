@@ -92,7 +92,7 @@ func (h *Harness) RunStrategy(metro int, picker baseline.Picker, budget, batchSi
 			}
 			sel.Report(m, informative)
 		}
-		est = store.Estimate(metro, members, obs.NegMetascritic)
+		store.Refresh(est)
 		run.Batches = append(run.Batches, h.batchStat(est, spent, rowsAboveK))
 	}
 	run.Est = est

@@ -118,6 +118,13 @@ func (m *Mask) Count() int {
 	return total
 }
 
+// Reset empties the mask in place, keeping row capacity for reuse.
+func (m *Mask) Reset() {
+	for i := range m.rows {
+		m.rows[i] = m.rows[i][:0]
+	}
+}
+
 // Clone returns a deep copy of the mask.
 func (m *Mask) Clone() *Mask {
 	c := NewMask(m.n)

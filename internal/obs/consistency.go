@@ -1,0 +1,108 @@
+package obs
+
+// Routing-consistency tracking (Appx. D.5). A pair is contradictory at
+// scope sc when it has both direct (link) and transit (non-link) evidence
+// within sc of each other; ASes touching many contradictions are
+// iteratively eliminated from the consistent set. AddTrace maintains
+// minConflict (the tightest contradiction scope per pair) incrementally,
+// and the per-scope consistent sets are cached on the store, invalidated
+// by the append-only conflicts log rather than rebuilt per Estimate call.
+
+import (
+	"metascritic/internal/asgraph"
+)
+
+// consistEntry is one cached ConsistentASes result, stamped with the
+// length of the conflicts log it has consumed: the entry stays valid while
+// every newer conflict event is strictly wider than its scope.
+type consistEntry struct {
+	set  map[int]bool
+	upTo int
+}
+
+// inconsistentPairsAt returns the pairs with contradictory routing at the
+// given scope or tighter.
+func (s *Store) inconsistentPairsAt(scope asgraph.GeoScope) []asgraph.Pair {
+	var out []asgraph.Pair
+	for pr, sc := range s.minConflict {
+		if sc <= scope {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// ConsistentASes returns the set of ASes whose routing is consistent at the
+// given scope, per the iterative elimination of Appx. D.5: repeatedly drop
+// the AS involved in the most remaining contradictions (ties broken by
+// lowest AS number) until none remain. The result is cached until a new
+// contradiction at this scope or tighter is logged.
+func (s *Store) ConsistentASes(scope asgraph.GeoScope) map[int]bool {
+	if e := s.consistent[scope]; e != nil {
+		fresh := true
+		for _, sc := range s.conflicts[e.upTo:] {
+			if sc <= scope {
+				fresh = false
+				break
+			}
+		}
+		if fresh {
+			e.upTo = len(s.conflicts)
+			return e.set
+		}
+	}
+
+	// Collect contradictory pairs at this scope.
+	bad := s.inconsistentPairsAt(scope)
+
+	inconsistent := map[int]bool{}
+	for len(bad) > 0 {
+		counts := map[int]int{}
+		for _, pr := range bad {
+			counts[pr.A]++
+			counts[pr.B]++
+		}
+		worst, worstN := -1, -1
+		for as, n := range counts {
+			if n > worstN || (n == worstN && as < worst) {
+				worst, worstN = as, n
+			}
+		}
+		inconsistent[worst] = true
+		var rest []asgraph.Pair
+		for _, pr := range bad {
+			if pr.A != worst && pr.B != worst {
+				rest = append(rest, pr)
+			}
+		}
+		bad = rest
+	}
+
+	set := map[int]bool{}
+	for as := 0; as < s.g.N(); as++ {
+		if !inconsistent[as] {
+			set[as] = true
+		}
+	}
+	if s.consistent == nil {
+		s.consistent = map[asgraph.GeoScope]*consistEntry{}
+	}
+	s.consistent[scope] = &consistEntry{set: set, upTo: len(s.conflicts)}
+	return set
+}
+
+// noteConflict records a (possibly tightened) contradiction for the pair,
+// updating the minConflict index and appending the event to the conflicts
+// log that invalidates consistency caches and NegMetascritic estimates.
+func (s *Store) noteConflict(pr asgraph.Pair, sc asgraph.GeoScope) {
+	if sc >= asgraph.NumGeoScopes {
+		return
+	}
+	cur, ok := s.minConflict[pr]
+	if ok && cur <= sc {
+		return
+	}
+	s.ownIndex()
+	s.minConflict[pr] = sc
+	s.conflicts = append(s.conflicts, sc)
+}

@@ -1,0 +1,140 @@
+package obs
+
+import "metascritic/internal/asgraph"
+
+// Copy-on-write snapshotting. Clone hands out an O(1) handle sharing every
+// evidence structure with its parent; the first mutation of a structure
+// group on either store lazily copies just that group. Structure groups:
+//
+//	cowDirect  — direct (map of sorted metro slices)
+//	cowTransit — transit (map of observation slices)
+//	cowProbes  — probeSeen + probeTraces
+//	cowIndex   — gate + minConflict (derived indices)
+//
+// The dirty/conflicts logs need no group: Clone clamps both slice headers
+// to [:len:len] on both stores, so any post-clone append reallocates and
+// the stores diverge naturally (the shared prefix is immutable).
+//
+// Sharing is symmetric: Clone marks every group shared on BOTH stores, so
+// whichever store mutates first copies and the other keeps the (now
+// effectively frozen-for-it) original. If both mutate, both copy — at
+// worst the cost of the old deep-copy Clone, paid only for groups
+// actually touched. The per-scope consistency cache is never shared: it
+// mutates on read and is cheap to rebuild from minConflict.
+
+// storeIdent is a store identity token (see Store.ident). The padding
+// byte keeps the struct non-zero-size so every allocation gets a distinct
+// address — &struct{}{} values can share the runtime's zero base and
+// would defeat identity comparison.
+type storeIdent struct{ _ byte }
+
+type cowGroup uint8
+
+const (
+	cowDirect cowGroup = 1 << iota
+	cowTransit
+	cowProbes
+	cowIndex
+
+	cowAll = cowDirect | cowTransit | cowProbes | cowIndex
+)
+
+// Clone returns an O(1) copy-on-write snapshot: base and snapshot share
+// all evidence until either mutates. Clone may be called concurrently
+// with other Clones of (and reads from) the same store, but not with its
+// mutations. The snapshot starts with empty consistency caches and a
+// fresh (unshared) view of the evidence logs.
+func (s *Store) Clone() *Store {
+	s.cowMu.Lock()
+	defer s.cowMu.Unlock()
+	// Freeze the log prefixes: clamping capacity to length forces any
+	// later append — on either store — to reallocate rather than scribble
+	// into the shared backing array.
+	s.dirty = s.dirty[:len(s.dirty):len(s.dirty)]
+	s.conflicts = s.conflicts[:len(s.conflicts):len(s.conflicts)]
+	s.shared = cowAll
+	return &Store{
+		g:           s.g,
+		resolve:     s.resolve,
+		ident:       &storeIdent{},
+		shared:      cowAll,
+		direct:      s.direct,
+		transit:     s.transit,
+		probeSeen:   s.probeSeen,
+		probeTraces: s.probeTraces,
+		gate:        s.gate,
+		minConflict: s.minConflict,
+		dirty:       s.dirty,
+		conflicts:   s.conflicts,
+	}
+}
+
+// sharedGroup reports whether the group is still shared, clearing the flag
+// (the caller is about to take ownership by copying).
+func (s *Store) sharedGroup(g cowGroup) bool {
+	if s.shared&g == 0 {
+		return false
+	}
+	s.cowMu.Lock()
+	shared := s.shared&g != 0
+	s.shared &^= g
+	s.cowMu.Unlock()
+	return shared
+}
+
+// ownDirect ensures s.direct is exclusively owned, copying it if shared.
+// Slice values are clamped so a later in-place append on one store cannot
+// alias the other's rows.
+func (s *Store) ownDirect() {
+	if !s.sharedGroup(cowDirect) {
+		return
+	}
+	m := make(map[asgraph.Pair][]int32, len(s.direct))
+	for k, v := range s.direct {
+		m[k] = v[:len(v):len(v)]
+	}
+	s.direct = m
+}
+
+func (s *Store) ownTransit() {
+	if !s.sharedGroup(cowTransit) {
+		return
+	}
+	m := make(map[asgraph.Pair][]transitObs, len(s.transit))
+	for k, v := range s.transit {
+		m[k] = v[:len(v):len(v)]
+	}
+	s.transit = m
+}
+
+func (s *Store) ownProbes() {
+	if !s.sharedGroup(cowProbes) {
+		return
+	}
+	seen := make(map[seenKey]bool, len(s.probeSeen))
+	for k, v := range s.probeSeen {
+		seen[k] = v
+	}
+	s.probeSeen = seen
+	traces := make(map[probeKey]int, len(s.probeTraces))
+	for k, v := range s.probeTraces {
+		traces[k] = v
+	}
+	s.probeTraces = traces
+}
+
+func (s *Store) ownIndex() {
+	if !s.sharedGroup(cowIndex) {
+		return
+	}
+	gate := make(map[seenKey][]asgraph.Pair, len(s.gate))
+	for k, v := range s.gate {
+		gate[k] = v[:len(v):len(v)]
+	}
+	s.gate = gate
+	mc := make(map[asgraph.Pair]asgraph.GeoScope, len(s.minConflict))
+	for k, v := range s.minConflict {
+		mc[k] = v
+	}
+	s.minConflict = mc
+}

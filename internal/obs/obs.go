@@ -5,14 +5,40 @@
 // applies the geographic-transferability weights (±1, ±0.7, ±0.4, ±0.1)
 // when folding observations from other metros into a target metro's
 // estimate.
+//
+// Since PR 4 the package is an incremental evidence layer rather than a
+// pile of mutable maps:
+//
+//   - Evidence accrues append-only. AddTrace only ever adds records
+//     (direct crossing metros, transit observations, probe coverage) and
+//     appends every pair whose evidence inputs changed to a dirty log,
+//     with derived indices (well-positioned gates, routing-consistency
+//     conflicts) maintained as it goes.
+//   - Clone is an O(1) copy-on-write handle: base and snapshot share every
+//     structure until one of them mutates, at which point the mutating
+//     store lazily copies just the structures it touches. Divergent
+//     snapshots (the engine's per-metro isolation unit) therefore cost
+//     nothing until — and proportionally to — what they actually ingest.
+//   - Estimates are delta-maintained. An Estimate remembers the dirty-log
+//     watermark it has consumed; Store.Refresh re-derives only the pairs
+//     touched since, falling back to an in-place full rebuild when the
+//     routing-consistency inputs changed. The refreshed estimate is
+//     byte-identical to a from-scratch rebuild (pinned by equivalence
+//     property/fuzz tests).
+//
+// A Store is not safe for concurrent use, but distinct stores related by
+// Clone are fully independent: interleaved or concurrent mutation of a
+// base and its snapshots is race-free and never leaks evidence in either
+// direction (lazily copied structures are only ever read once shared).
+// Clone itself may run concurrently with other Clones and with reads of
+// the same store, but not with its mutations.
 package obs
 
 import (
-	"sort"
+	"sync"
 
 	"metascritic/internal/asgraph"
 	"metascritic/internal/ipmap"
-	"metascritic/internal/mat"
 	"metascritic/internal/traceroute"
 )
 
@@ -33,6 +59,13 @@ func TransferWeight(s asgraph.GeoScope) float64 {
 // probeKey identifies a vantage point.
 type probeKey struct{ as, metro int }
 
+// seenKey identifies one probe-coverage fact: the probe at (vpAS, vpMetro)
+// has traversed an interface of AS `as` at metro `metro`. It doubles as
+// the key of the well-positioned gate index (§3.4): a transit observation
+// whose probe lacks exactly this coverage is parked under it until the
+// coverage arrives.
+type seenKey struct{ vpAS, vpMetro, as, metro int }
+
 // transitObs is one observed "i → transit → j" pattern.
 type transitObs struct {
 	metro int // metro of the crossing into the transit
@@ -49,21 +82,65 @@ type Finding struct {
 }
 
 // Store accumulates traceroute-derived knowledge across all metros.
+//
+// Every structure below is append-only at the record level (metros are
+// added to direct sets, observations to transit lists, coverage facts to
+// probeSeen — nothing is ever removed), which is what makes both the
+// copy-on-write Clone and the delta-maintained estimates sound: evidence
+// for a pair can strengthen but never vanish, so a pair absent from the
+// dirty log since an estimate's watermark is guaranteed unchanged.
 type Store struct {
 	g       *asgraph.Graph
 	resolve func(ipmap.Addr) (ipmap.Info, bool)
 
-	// direct[pair] = set of metros with an observed direct crossing.
-	direct map[asgraph.Pair]map[int]bool
-	// transit[pair] = observed intermediate-transit patterns.
+	// ident is this store's identity token: Estimates record it so
+	// Refresh can tell whether they were derived from this store or from
+	// a relative across a Clone split. It is a pointer to a non-zero-size
+	// struct (unique address per store) whose contents are always equal,
+	// so reflect.DeepEqual of two equivalent Estimates from different
+	// stores still holds.
+	ident *storeIdent
+
+	// cowMu guards shared (and the slice-header clamping in Clone) so
+	// concurrent Clones of one store are safe.
+	cowMu  sync.Mutex
+	shared cowGroup
+
+	// direct[pair] = sorted metros with an observed direct crossing.
+	direct map[asgraph.Pair][]int32
+	// transit[pair] = observed intermediate-transit patterns, in arrival
+	// order.
 	transit map[asgraph.Pair][]transitObs
-	// probeSeen[probe] = set of (AS, metro) interfaces the probe's
-	// traceroutes have traversed (for the well-positioned test).
-	probeSeen map[probeKey]map[[2]int]bool
+	// probeSeen records probe coverage facts (flat — one entry per
+	// (probe, AS, metro) interface traversal) for the well-positioned
+	// test.
+	probeSeen map[seenKey]bool
 	// probeTraces counts traces issued per probe.
 	probeTraces map[probeKey]int
-	// consistency cache, invalidated on AddTrace.
-	consistent map[asgraph.GeoScope]map[int]bool
+
+	// gate[k] = pairs with transit observations waiting on probe coverage
+	// k to pass the well-positioned test; when the coverage arrives the
+	// pairs are marked dirty and the gate is removed (gates only open).
+	gate map[seenKey][]asgraph.Pair
+	// minConflict[pair] = smallest geographic scope at which the pair has
+	// both direct and transit evidence (contradictory routing, Appx. D.5).
+	minConflict map[asgraph.Pair]asgraph.GeoScope
+
+	// dirty is the append-only evidence log: one entry per pair whose
+	// estimate inputs (direct metros, transit observations, gate status)
+	// changed. Estimates consume it from their recorded watermark.
+	dirty []asgraph.Pair
+	// conflicts is the append-only log of routing-consistency input
+	// changes: the scope of each new (or tightened) contradiction. The
+	// per-scope consistency caches and the NegMetascritic estimates
+	// invalidate against it.
+	conflicts []asgraph.GeoScope
+
+	// consistent caches ConsistentASes per scope, each entry stamped with
+	// the conflicts-log length it has consumed. Never shared across
+	// Clone (it is cheap to rebuild from minConflict and mutates on
+	// read).
+	consistent map[asgraph.GeoScope]*consistEntry
 }
 
 // NewStore builds an empty store. resolve is the hop-resolution function
@@ -72,48 +149,14 @@ func NewStore(g *asgraph.Graph, resolve func(ipmap.Addr) (ipmap.Info, bool)) *St
 	return &Store{
 		g:           g,
 		resolve:     resolve,
-		direct:      map[asgraph.Pair]map[int]bool{},
+		ident:       &storeIdent{},
+		direct:      map[asgraph.Pair][]int32{},
 		transit:     map[asgraph.Pair][]transitObs{},
-		probeSeen:   map[probeKey]map[[2]int]bool{},
+		probeSeen:   map[seenKey]bool{},
 		probeTraces: map[probeKey]int{},
+		gate:        map[seenKey][]asgraph.Pair{},
+		minConflict: map[asgraph.Pair]asgraph.GeoScope{},
 	}
-}
-
-// Clone returns a deep copy of the store's accumulated knowledge. The
-// clone shares the (read-only) graph and resolver but owns its own
-// observation maps, so a cloned store can ingest traces independently —
-// the isolation mechanism behind concurrent per-metro runs (each metro
-// measures against its own snapshot of the shared evidence base).
-func (s *Store) Clone() *Store {
-	c := &Store{
-		g:           s.g,
-		resolve:     s.resolve,
-		direct:      make(map[asgraph.Pair]map[int]bool, len(s.direct)),
-		transit:     make(map[asgraph.Pair][]transitObs, len(s.transit)),
-		probeSeen:   make(map[probeKey]map[[2]int]bool, len(s.probeSeen)),
-		probeTraces: make(map[probeKey]int, len(s.probeTraces)),
-	}
-	for pr, metros := range s.direct {
-		m := make(map[int]bool, len(metros))
-		for k, v := range metros {
-			m[k] = v
-		}
-		c.direct[pr] = m
-	}
-	for pr, tobs := range s.transit {
-		c.transit[pr] = append([]transitObs(nil), tobs...)
-	}
-	for pk, seen := range s.probeSeen {
-		m := make(map[[2]int]bool, len(seen))
-		for k, v := range seen {
-			m[k] = v
-		}
-		c.probeSeen[pk] = m
-	}
-	for pk, n := range s.probeTraces {
-		c.probeTraces[pk] = n
-	}
-	return c
 }
 
 // hopInfo is a resolved responsive hop.
@@ -126,15 +169,15 @@ type hopInfo struct {
 // AddTrace ingests one traceroute and returns what it learned. Unresponsive
 // hops break adjacency: a crossing is only derived from two consecutive
 // responsive hops (the paper's definition of link observation).
+//
+// Every evidence record the trace contributes is appended to the store's
+// logs; the pairs whose estimate inputs changed (including pairs whose
+// older transit observations just became licensed by this trace's probe
+// coverage) accumulate in the dirty log that Refresh drains.
 func (s *Store) AddTrace(tr traceroute.Trace) []Finding {
-	s.consistent = nil
 	pk := probeKey{tr.VPAS, tr.VPMetro}
+	s.ownProbes()
 	s.probeTraces[pk]++
-	seen := s.probeSeen[pk]
-	if seen == nil {
-		seen = map[[2]int]bool{}
-		s.probeSeen[pk] = seen
-	}
 
 	// Resolve responsive hops.
 	var hops []hopInfo
@@ -153,7 +196,7 @@ func (s *Store) AddTrace(tr traceroute.Trace) []Finding {
 		hops = append(hops, hopInfo{inf.AS, inf.Metro, inf.IXP})
 		gaps = append(gaps, gap)
 		gap = false
-		seen[[2]int{inf.AS, inf.Metro}] = true
+		s.coverProbe(pk, inf.AS, inf.Metro)
 	}
 
 	var findings []Finding
@@ -184,12 +227,7 @@ func (s *Store) AddTrace(tr traceroute.Trace) []Finding {
 		// have already pinned IXP crossings to the IXP metro during
 		// resolution).
 		m := segs[i].metro
-		if s.direct[pr] == nil {
-			s.direct[pr] = map[int]bool{}
-		}
-		if !s.direct[pr][m] {
-			s.direct[pr][m] = true
-		}
+		s.addDirect(pr, m)
 		findings = append(findings, Finding{Pair: pr, Metro: m, Direct: true})
 	}
 
@@ -208,24 +246,121 @@ func (s *Store) AddTrace(tr traceroute.Trace) []Finding {
 		}
 		pr := asgraph.MakePair(x, y)
 		m := segs[i-1].metro // where the flow entered the transit
-		s.transit[pr] = append(s.transit[pr], transitObs{metro: m, near: x, probe: pk})
+		s.addTransit(pr, transitObs{metro: m, near: x, probe: pk})
 		findings = append(findings, Finding{Pair: pr, Metro: m, Direct: false})
 	}
 	return findings
 }
 
+// coverProbe records one probe-coverage fact and opens any well-positioned
+// gates waiting on it: the pairs whose transit observations just became
+// licensed are appended to the dirty log so delta-refreshed estimates
+// re-derive them.
+func (s *Store) coverProbe(pk probeKey, as, metro int) {
+	k := seenKey{pk.as, pk.metro, as, metro}
+	if s.probeSeen[k] {
+		return
+	}
+	s.probeSeen[k] = true // probes group already owned by AddTrace
+	if len(s.gate[k]) > 0 {
+		s.ownIndex()
+		s.dirty = append(s.dirty, s.gate[k]...)
+		delete(s.gate, k)
+	}
+}
+
+// addDirect records a direct crossing for pair pr at metro m, maintaining
+// the conflict index and the dirty log.
+func (s *Store) addDirect(pr asgraph.Pair, m int) {
+	row := s.direct[pr]
+	pos, ok := searchMetros(row, int32(m))
+	if ok {
+		return // already known: evidence unchanged, nothing to log
+	}
+	s.ownDirect()
+	row = s.direct[pr]
+	row = append(row, 0)
+	copy(row[pos+1:], row[pos:])
+	row[pos] = int32(m)
+	s.direct[pr] = row
+	// A new direct metro can create (or tighten) a contradiction with any
+	// existing transit observation of the pair.
+	if tl := s.transit[pr]; len(tl) > 0 {
+		best := asgraph.NumGeoScopes
+		for _, to := range tl {
+			if sc := s.g.ScopeOfMetros(m, to.metro); sc < best {
+				best = sc
+			}
+		}
+		s.noteConflict(pr, best)
+	}
+	s.dirty = append(s.dirty, pr)
+}
+
+// addTransit records one transit observation, maintaining the conflict
+// index, the well-positioned gate index and the dirty log.
+func (s *Store) addTransit(pr asgraph.Pair, to transitObs) {
+	s.ownTransit()
+	s.transit[pr] = append(s.transit[pr], to)
+	if dm := s.direct[pr]; len(dm) > 0 {
+		best := asgraph.NumGeoScopes
+		for _, m := range dm {
+			if sc := s.g.ScopeOfMetros(int(m), to.metro); sc < best {
+				best = sc
+			}
+		}
+		s.noteConflict(pr, best)
+	}
+	// If the observing probe lacks the coverage that licenses reading this
+	// detour as non-link evidence, park the pair under the gate so the
+	// coverage's arrival dirties it. Gates only ever open: probeTraces is
+	// already positive for this probe (its own trace got us here), so the
+	// well-positioned test can only flip false → true.
+	k := seenKey{to.probe.as, to.probe.metro, to.near, to.metro}
+	if !s.probeSeen[k] {
+		s.ownIndex()
+		if !containsPair(s.gate[k], pr) {
+			s.gate[k] = append(s.gate[k], pr)
+		}
+	}
+	s.dirty = append(s.dirty, pr)
+}
+
+// searchMetros returns the position of m in the sorted metro list (or its
+// insertion point) and whether it is present.
+func searchMetros(row []int32, m int32) (int, bool) {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < m {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(row) && row[lo] == m
+}
+
+func containsPair(list []asgraph.Pair, pr asgraph.Pair) bool {
+	for _, p := range list {
+		if p == pr {
+			return true
+		}
+	}
+	return false
+}
+
 // DirectMetros returns the metros where a direct crossing between the pair
 // has been observed (nil if none).
 func (s *Store) DirectMetros(a, b int) []int {
-	set := s.direct[asgraph.MakePair(a, b)]
-	if set == nil {
+	row := s.direct[asgraph.MakePair(a, b)]
+	if row == nil {
 		return nil
 	}
-	out := make([]int, 0, len(set))
-	for m := range set {
-		out = append(out, m)
+	out := make([]int, len(row))
+	for i, m := range row {
+		out[i] = int(m) // rows are kept sorted by addDirect
 	}
-	sort.Ints(out)
 	return out
 }
 
@@ -237,265 +372,5 @@ func (s *Store) WellPositioned(vpAS, vpMetro, i, m int) bool {
 	if s.probeTraces[pk] == 0 {
 		return true
 	}
-	return s.probeSeen[pk][[2]int{i, m}]
-}
-
-// inconsistentPairsAt returns the pairs with contradictory observations at
-// scope sc: a direct crossing and a transit pattern within the same
-// geographic region.
-func (s *Store) inconsistentPairsAt(sc asgraph.GeoScope) []asgraph.Pair {
-	var out []asgraph.Pair
-	for pr, tobs := range s.transit {
-		dm := s.direct[pr]
-		if len(dm) == 0 {
-			continue
-		}
-		found := false
-		for _, to := range tobs {
-			for m := range dm {
-				if s.g.ScopeOfMetros(m, to.metro) <= sc {
-					found = true
-					break
-				}
-			}
-			if found {
-				break
-			}
-		}
-		if found {
-			out = append(out, pr)
-		}
-	}
-	return out
-}
-
-// ConsistentASes returns the set of ASes with consistent routing at scope
-// sc, derived by iteratively eliminating the AS involved in the most
-// contradictory pairs until none remain (Appx. D.5).
-func (s *Store) ConsistentASes(sc asgraph.GeoScope) map[int]bool {
-	if s.consistent == nil {
-		s.consistent = map[asgraph.GeoScope]map[int]bool{}
-	}
-	if c, ok := s.consistent[sc]; ok {
-		return c
-	}
-	bad := s.inconsistentPairsAt(sc)
-	removed := map[int]bool{}
-	for len(bad) > 0 {
-		counts := map[int]int{}
-		for _, pr := range bad {
-			counts[pr.A]++
-			counts[pr.B]++
-		}
-		worst, worstN := -1, -1
-		for as, n := range counts {
-			if n > worstN || (n == worstN && as < worst) {
-				worst, worstN = as, n
-			}
-		}
-		removed[worst] = true
-		var next []asgraph.Pair
-		for _, pr := range bad {
-			if pr.A != worst && pr.B != worst {
-				next = append(next, pr)
-			}
-		}
-		bad = next
-	}
-	out := map[int]bool{}
-	for i := 0; i < s.g.N(); i++ {
-		if !removed[i] {
-			out[i] = true
-		}
-	}
-	s.consistent[sc] = out
-	return out
-}
-
-// NegativePolicy selects which conditions gate non-link evidence; the E.7
-// ablation compares these.
-type NegativePolicy int
-
-// Non-link inference policies.
-const (
-	// NegFull uses every transit observation (no conditions).
-	NegFull NegativePolicy = iota
-	// NegWellPositioned requires a well-positioned probe but ignores
-	// routing consistency.
-	NegWellPositioned
-	// NegMetascritic requires both a well-positioned probe and routing
-	// consistency at the evidence scope (the paper's method).
-	NegMetascritic
-	// NegNone never infers non-existence from measurements.
-	NegNone
-)
-
-// Estimate is the estimated connectivity matrix E_m for one metro.
-type Estimate struct {
-	Metro   int
-	Members []int
-	Index   map[int]int
-	// E holds evidence values in [-1, 1]; only entries in Mask are
-	// meaningful.
-	E    *mat.Matrix
-	Mask *mat.Mask
-}
-
-// Value returns the evidence value for graph-level ASes a and b, and
-// whether it is observed.
-func (e *Estimate) Value(a, b int) (float64, bool) {
-	i, ok1 := e.Index[a]
-	j, ok2 := e.Index[b]
-	if !ok1 || !ok2 || !e.Mask.Has(i, j) {
-		return 0, false
-	}
-	return e.E.At(i, j), true
-}
-
-// Set records an evidence value (keeping E symmetric).
-func (e *Estimate) Set(i, j int, v float64) {
-	e.E.Set(i, j, v)
-	e.E.Set(j, i, v)
-	e.Mask.Set(i, j)
-}
-
-// RowFill returns the number of observed entries for each member row.
-func (e *Estimate) RowFill() []int {
-	out := make([]int, len(e.Members))
-	for i := range out {
-		out[i] = e.Mask.RowCount(i)
-	}
-	return out
-}
-
-// Estimate assembles E_m for the target metro over the given member ASes,
-// applying transferability weights and the configured non-link policy.
-func (s *Store) Estimate(metro int, members []int, policy NegativePolicy) *Estimate {
-	return s.EstimateScoped(metro, members, policy, asgraph.Elsewhere)
-}
-
-// EstimateScoped is Estimate restricted to observations within maxScope of
-// the target metro: SameMetro disables geographic transferability entirely
-// (the Appx. E.4 ablation), Elsewhere enables the full ±1/±0.7/±0.4/±0.1
-// weighting.
-func (s *Store) EstimateScoped(metro int, members []int, policy NegativePolicy, maxScope asgraph.GeoScope) *Estimate {
-	est := &Estimate{
-		Metro:   metro,
-		Members: members,
-		Index:   make(map[int]int, len(members)),
-		E:       mat.New(len(members), len(members)),
-		Mask:    mat.NewMask(len(members)),
-	}
-	for i, as := range members {
-		est.Index[as] = i
-	}
-	memberSet := map[int]bool{}
-	for _, as := range members {
-		memberSet[as] = true
-	}
-
-	consistentCache := map[asgraph.GeoScope]map[int]bool{}
-	consistentAt := func(sc asgraph.GeoScope) map[int]bool {
-		if c, ok := consistentCache[sc]; ok {
-			return c
-		}
-		c := s.ConsistentASes(sc)
-		consistentCache[sc] = c
-		return c
-	}
-
-	// Positive evidence.
-	pos := map[asgraph.Pair]float64{}
-	for pr, metros := range s.direct {
-		if !memberSet[pr.A] || !memberSet[pr.B] {
-			continue
-		}
-		best := 0.0
-		for m := range metros {
-			sc := s.g.ScopeOfMetros(m, metro)
-			if sc > maxScope {
-				continue
-			}
-			if w := TransferWeight(sc); w > best {
-				best = w
-			}
-		}
-		if best > 0 {
-			pos[pr] = best
-		}
-	}
-
-	// Negative evidence.
-	neg := map[asgraph.Pair]float64{}
-	if policy != NegNone {
-		for pr, tobs := range s.transit {
-			if !memberSet[pr.A] || !memberSet[pr.B] {
-				continue
-			}
-			best := 0.0 // strongest magnitude
-			for _, to := range tobs {
-				sc := s.g.ScopeOfMetros(to.metro, metro)
-				if sc > maxScope {
-					continue
-				}
-				w := TransferWeight(sc)
-				if w <= best {
-					continue
-				}
-				// The probe must be well-positioned for the near-side AS
-				// at the metro where the transit crossing was observed
-				// (§3.4): that is what licenses reading the detour as
-				// evidence of a missing direct link there. NegFull skips
-				// the gate (E.7 ablation).
-				if policy == NegWellPositioned || policy == NegMetascritic {
-					if !s.WellPositioned(to.probe.as, to.probe.metro, to.near, to.metro) {
-						continue
-					}
-				}
-				if policy == NegMetascritic {
-					c := consistentAt(sc)
-					if !c[pr.A] || !c[pr.B] {
-						continue
-					}
-				}
-				best = w
-			}
-			if best > 0 {
-				neg[pr] = -best
-			}
-		}
-	}
-
-	// Merge: keep the larger magnitude; positive wins ties.
-	for pr, v := range pos {
-		i, j := est.Index[pr.A], est.Index[pr.B]
-		est.Set(i, j, v)
-	}
-	for pr, v := range neg {
-		i, j := est.Index[pr.A], est.Index[pr.B]
-		if cur, ok := est.Value(pr.A, pr.B); ok && cur >= -v {
-			continue
-		}
-		est.Set(i, j, v)
-	}
-	return est
-}
-
-// PairCounts returns, per member AS, the number of positive and negative
-// observed entries in an estimate — the dominant Shapley features (# of
-// existing / non-existing links, Fig. 13).
-func (e *Estimate) PairCounts() (posCount, negCount []int) {
-	n := len(e.Members)
-	posCount = make([]int, n)
-	negCount = make([]int, n)
-	for i := 0; i < n; i++ {
-		for _, j := range e.Mask.RowView(i) {
-			if e.E.At(i, int(j)) > 0 {
-				posCount[i]++
-			} else {
-				negCount[i]++
-			}
-		}
-	}
-	return posCount, negCount
+	return s.probeSeen[seenKey{vpAS, vpMetro, i, m}]
 }

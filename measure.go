@@ -8,7 +8,10 @@ package metascritic
 // order. Because every mutation (obs.Store.AddTrace, probe.Selector.Report,
 // Result.Calibrations, the budget counter) happens on the committing
 // goroutine in batch order, a parallel run is byte-identical to the serial
-// one — the workers only ever race on the pure simulation.
+// one — the workers only ever race on the pure simulation. Each committed
+// AddTrace also appends the pairs it touched to the store's dirty log, so
+// the post-batch estimate refresh (obs.Store.Refresh) re-derives exactly
+// the delta this plan committed rather than rescanning all evidence.
 //
 // Budget under speculation: a batch may be larger than the remaining
 // MaxMeasurements budget (the bootstrap plan is not clamped). The

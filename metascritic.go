@@ -111,6 +111,11 @@ type PhaseTimings struct {
 	Completion time.Duration
 	// Threshold covers the λ holdout search (§3.1).
 	Threshold time.Duration
+	// Estimate is the wall-clock spent building and delta-refreshing the
+	// connectivity estimate E_m (obs.Store.Estimate / Store.Refresh).
+	// Like Measure.Wall it is a subset of Bootstrap+RankLoop — previously
+	// it was invisible inside RankLoop — so Total does not add it.
+	Estimate time.Duration
 	// Measure counts the speculative fan-out work of the measurement
 	// pipeline (batches, launched/committed/discarded traceroutes,
 	// prefetched routes). Its wall-clock is a subset of Bootstrap+RankLoop.
@@ -281,11 +286,14 @@ func BuildFeatures(g *asgraph.Graph, members []int) *mat.Matrix {
 }
 
 // Snapshot returns a pipeline sharing this pipeline's (immutable) world,
-// traceroute engine and hitlist, but owning a deep copy of the observation
-// store. A snapshot can run a metro without its targeted traceroutes
-// leaking into other runs — the isolation unit behind the concurrent
-// engine: every metro of an engine batch measures against the evidence
-// available when the batch started.
+// traceroute engine and hitlist, but owning an O(1) copy-on-write handle
+// on the observation store: base and snapshot share all accumulated
+// evidence until either mutates, at which point the mutating store
+// lazily copies just the structures it touches (obs.Store.Clone). A
+// snapshot can run a metro without its targeted traceroutes leaking into
+// other runs — the isolation unit behind the concurrent engine: every
+// metro of an engine batch measures against the evidence available when
+// the batch started.
 func (p *Pipeline) Snapshot() *Pipeline {
 	return &Pipeline{
 		World:   p.World,
@@ -346,8 +354,17 @@ func (p *Pipeline) RunMetroContext(ctx context.Context, metro int, cfg Config) (
 
 	res := &Result{Metro: metro, Members: members}
 
-	// Working estimate; refreshed in place as measurements land.
+	// Working estimate; delta-refreshed in place as measurements land
+	// (obs.Store.Refresh re-derives only the pairs the new traces
+	// touched, byte-identical to a full rebuild).
+	estStart := time.Now()
 	est := p.Store.Estimate(metro, members, cfg.NegPolicy)
+	res.Timings.Estimate += time.Since(estStart)
+	refresh := func() {
+		t0 := time.Now()
+		p.Store.Refresh(est)
+		res.Timings.Estimate += time.Since(t0)
+	}
 	features := BuildFeatures(g, members)
 	budget := cfg.MaxMeasurements
 	workers := measureWorkers(cfg)
@@ -378,19 +395,11 @@ func (p *Pipeline) RunMetroContext(ctx context.Context, metro int, cfg Config) (
 				VP: m.VP, Target: m.Target, LinkI: m.LinkI, LinkJ: m.LinkJ, Strat: m.Strat,
 			})
 		})
-		fresh := p.Store.Estimate(metro, members, cfg.NegPolicy)
-		copy(est.E.Data, fresh.E.Data)
-		est.Mask.CopyFrom(fresh.Mask)
+		refresh()
 	}
 	res.Timings.Bootstrap = time.Since(phaseStart)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("metascritic: metro %d: bootstrap aborted: %w", metro, err)
-	}
-
-	refresh := func() {
-		fresh := p.Store.Estimate(metro, members, cfg.NegPolicy)
-		copy(est.E.Data, fresh.E.Data)
-		est.Mask.CopyFrom(fresh.Mask)
 	}
 
 	topUp := func(need []int) int {
