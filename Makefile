@@ -4,12 +4,12 @@ GO ?= go
 # METASCRITIC_BENCH_SCALE, select the completion / rank-sweep / propagation
 # micro-benchmarks, record machine-readable results for later PRs to diff.
 BENCH_SCALE ?= 0.05
-BENCH_PATTERN = BenchmarkComplete|BenchmarkRankEstimate|BenchmarkPropagate$$|BenchmarkRunMetro|BenchmarkStore
+BENCH_PATTERN = BenchmarkComplete|BenchmarkRankEstimate|BenchmarkPropagate$$|BenchmarkPropagateInto|BenchmarkRoutesToAll|BenchmarkVisibleLinks|BenchmarkRunMetro|BenchmarkStore
 BENCH_PKGS = . ./internal/als ./internal/rank ./internal/bgp ./internal/obs
-BENCH_OUT ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR5.json
 BENCH_BASELINE ?=
 
-.PHONY: build test check bench bench-engine race-measure race-obs clean
+.PHONY: build test check bench bench-engine race-measure race-obs race-bgp clean
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,12 @@ race-measure:
 # mutation (the engine's isolation pattern) must be race-free.
 race-obs:
 	$(GO) test -race ./internal/obs/
+
+# race-bgp exercises the routing substrate's concurrency contract: the
+# sharded route cache's singleflight, the batched RoutesToAll fan-out on
+# overlapping destination sets, and per-worker propagation scratches.
+race-bgp:
+	$(GO) test -race ./internal/bgp/
 
 clean:
 	$(GO) clean ./...

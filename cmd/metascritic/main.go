@@ -141,6 +141,9 @@ func runAll(ctx context.Context, w *metascritic.World, p *metascritic.Pipeline, 
 		s.Phases.Bootstrap.Round(1e6), s.Phases.RankLoop.Round(1e6),
 		s.Phases.Completion.Round(1e6), s.Phases.Threshold.Round(1e6))
 	fmt.Printf("  of which estimate build/refresh: %v\n", s.Phases.Estimate.Round(1e6))
+	rc := s.RouteCache
+	fmt.Printf("route cache: %d destinations over %d shards (%.1f MiB), %d hits / %d computed, %v propagating\n",
+		rc.Entries, rc.Shards, float64(rc.Bytes)/(1<<20), rc.Hits, rc.Computed, rc.PropTime.Round(1e6))
 	return nil
 }
 

@@ -1,7 +1,9 @@
 package bgp
 
 import (
+	"context"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"metascritic/internal/benchscale"
@@ -19,6 +21,22 @@ func BenchmarkPropagate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		top.PropagateFrom(i % n)
+	}
+}
+
+// BenchmarkPropagateInto measures the pooled, reuse-everything path — the
+// one RouteCache workers ride. Its allocs/op must stay 0 after warm-up;
+// TestPropagateIntoZeroAllocs pins that as a regression test.
+func BenchmarkPropagateInto(b *testing.B) {
+	n := benchscale.N(30000, 1500)
+	top := benchTopology(n)
+	dst := make([]Route, n)
+	origins := make([]Origin, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		origins[0] = Origin{AS: i % n, Flag: 1}
+		dst = top.PropagateInto(dst, origins)
 	}
 }
 
@@ -43,5 +61,60 @@ func BenchmarkVisibleLinks(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		VisibleLinks(NewRouteCache(top), monitors, dests)
+	}
+}
+
+// BenchmarkRoutesToAll measures a cold 64-destination sweep: serial is one
+// RoutesTo per destination, pooled is the batched fan-out (one scratch per
+// worker). The sub-benchmark names match the PR 4 baseline shim so
+// cmd/benchjson can diff them.
+func BenchmarkRoutesToAll(b *testing.B) {
+	n := benchscale.N(30000, 1500)
+	top := benchTopology(n)
+	dests := make([]int, 64)
+	for i := range dests {
+		dests[i] = (i * 131) % n
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := NewRouteCache(top)
+			for _, d := range dests {
+				c.RoutesTo(d)
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := NewRouteCache(top)
+			if _, err := c.RoutesToAll(context.Background(), dests, runtime.GOMAXPROCS(0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestPropagateIntoZeroAllocs pins the pooled path's allocation-free
+// steady state. sync.Pool may be drained by a concurrent GC, so the pin
+// tolerates a stray refill rather than demanding a perfect zero.
+func TestPropagateIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation pin only holds in normal builds")
+	}
+	top := benchTopology(800)
+	dst := make([]Route, top.N())
+	origins := make([]Origin, 1)
+	// Warm the pool and the scratch's bucket arrays.
+	for i := 0; i < 5; i++ {
+		origins[0] = Origin{AS: i, Flag: 1}
+		dst = top.PropagateInto(dst, origins)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		origins[0] = Origin{AS: 7, Flag: 1}
+		dst = top.PropagateInto(dst, origins)
+	})
+	if avg >= 1 {
+		t.Fatalf("pooled PropagateInto allocates %.1f allocs/op after warm-up, want 0", avg)
 	}
 }

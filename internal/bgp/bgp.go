@@ -17,11 +17,24 @@
 // tracking per-AS which origins are reachable over routes tied for best —
 // the paper "propagates all paths that are tied for best according to the
 // Gao-Rexford model".
+//
+// The package is built for throughput, because every experiment funnels
+// through it:
+//
+//   - Propagation runs on a pooled, epoch-stamped workspace (propScratch):
+//     after warm-up a run touches only the ASes it reaches and performs no
+//     allocations. PropagateInto exposes the pooled path directly;
+//     Propagate/PropagateFrom are thin wrappers with unchanged results.
+//   - The provider-route Dijkstra uses a Dial bucket queue (all edge
+//     relaxations are +1), replacing the binary heap of earlier revisions.
+//   - RouteCache is sharded by destination hash, stores results in a
+//     compact struct-of-arrays encoding (Routes, ~8 bytes per AS), and
+//     batch-computes missing destinations over a worker pool
+//     (Warm/RoutesToAll) with singleflight deduplication per destination.
 package bgp
 
 import (
 	"math"
-	"sync"
 
 	"metascritic/internal/asgraph"
 )
@@ -45,22 +58,60 @@ func NewTopology(n int) *Topology {
 	}
 }
 
-// FromGraph copies the adjacency of an asgraph.Graph.
+// FromGraph copies the adjacency of an asgraph.Graph, sizing every
+// adjacency list exactly over one backing array per relation.
 func FromGraph(g *asgraph.Graph) *Topology {
-	t := NewTopology(g.N())
+	n := g.N()
+	t := NewTopology(n)
+	provDeg := make([]int, n)
+	custDeg := make([]int, n)
+	peerDeg := make([]int, n)
 	for c := range g.Providers {
 		for _, p := range g.Providers[c] {
-			t.AddC2P(c, p)
+			provDeg[c]++
+			custDeg[p]++
+		}
+	}
+	for a := range g.Peers {
+		peerDeg[a] = len(g.Peers[a])
+	}
+	t.providers = carveAdj(provDeg)
+	t.customers = carveAdj(custDeg)
+	t.peers = carveAdj(peerDeg)
+	for c := range g.Providers {
+		for _, p := range g.Providers[c] {
+			t.providers[c] = append(t.providers[c], int32(p))
+			t.customers[p] = append(t.customers[p], int32(c))
 		}
 	}
 	for a := range g.Peers {
 		for _, b := range g.Peers[a] {
-			if a < b {
-				t.AddP2P(a, b)
-			}
+			t.peers[a] = append(t.peers[a], int32(b))
 		}
 	}
 	return t
+}
+
+// carveAdj carves per-AS slices of the given capacities (and length 0)
+// out of a single backing array. The slices are capacity-clamped, so a
+// later append past an AS's degree reallocates instead of bleeding into
+// its neighbor's list.
+func carveAdj(deg []int) [][]int32 {
+	total := 0
+	for _, d := range deg {
+		total += d
+	}
+	backing := make([]int32, total)
+	out := make([][]int32, len(deg))
+	off := 0
+	for i, d := range deg {
+		if d == 0 {
+			continue
+		}
+		out[i] = backing[off : off : off+d]
+		off += d
+	}
+	return out
 }
 
 // N returns the number of ASes.
@@ -79,15 +130,35 @@ func (t *Topology) AddP2P(a, b int) {
 }
 
 // Clone returns a deep copy that can be extended independently (used to
-// derive the +measured and +inferred prediction topologies).
+// derive the +measured and +inferred prediction topologies). Each relation
+// is copied into one exactly sized backing array; the per-AS slices are
+// capacity-clamped so appends on the clone reallocate instead of
+// clobbering a neighbor's adjacency.
 func (t *Topology) Clone() *Topology {
-	c := NewTopology(t.n)
-	for i := 0; i < t.n; i++ {
-		c.providers[i] = append([]int32(nil), t.providers[i]...)
-		c.customers[i] = append([]int32(nil), t.customers[i]...)
-		c.peers[i] = append([]int32(nil), t.peers[i]...)
+	return &Topology{
+		n:         t.n,
+		providers: cloneAdj(t.providers),
+		customers: cloneAdj(t.customers),
+		peers:     cloneAdj(t.peers),
 	}
-	return c
+}
+
+func cloneAdj(adj [][]int32) [][]int32 {
+	total := 0
+	for _, s := range adj {
+		total += len(s)
+	}
+	backing := make([]int32, 0, total)
+	out := make([][]int32, len(adj))
+	for i, s := range adj {
+		if len(s) == 0 {
+			continue
+		}
+		off := len(backing)
+		backing = append(backing, s...)
+		out[i] = backing[off:len(backing):len(backing)]
+	}
+	return out
 }
 
 // NumP2P returns the number of distinct peering links.
@@ -146,163 +217,26 @@ type Origin struct {
 
 const unreached = int32(math.MaxInt32)
 
-// Propagate computes every AS's best route toward a prefix announced by
-// the given origins, under Gao-Rexford preferences and valley-free export.
+// PropagateInto computes every AS's best route toward a prefix announced
+// by the given origins, under Gao-Rexford preferences and valley-free
+// export, writing the result into dst (grown if too small) and returning
+// it. The run borrows a pooled workspace, so a caller that reuses dst
+// across calls propagates with zero allocations after warm-up.
+func (t *Topology) PropagateInto(dst []Route, origins []Origin) []Route {
+	if cap(dst) < t.n {
+		dst = make([]Route, t.n)
+	}
+	dst = dst[:t.n]
+	s := getScratch(t.n)
+	s.run(t, origins)
+	s.emitRoutes(dst)
+	putScratch(s)
+	return dst
+}
+
+// Propagate is PropagateInto with a freshly allocated result slice.
 func (t *Topology) Propagate(origins []Origin) []Route {
-	n := t.n
-	custDist := fill32(n, unreached)
-	custFlags := make([]uint8, n)
-	custHop := fill32(n, -1)
-
-	// Phase 1: customer routes — BFS from the origins over customer →
-	// provider edges. Distances first.
-	queue := make([]int32, 0, n)
-	for _, o := range origins {
-		if custDist[o.AS] != 0 {
-			custDist[o.AS] = 0
-			queue = append(queue, int32(o.AS))
-		}
-		custFlags[o.AS] |= o.Flag
-	}
-	for head := 0; head < len(queue); head++ {
-		x := queue[head]
-		for _, p := range t.providers[x] {
-			if custDist[p] == unreached {
-				custDist[p] = custDist[x] + 1
-				queue = append(queue, p)
-			}
-		}
-	}
-	// Flags and next hops in increasing-distance order (queue is ordered
-	// by BFS level).
-	for _, x := range queue {
-		if custDist[x] == 0 {
-			continue
-		}
-		best := int32(-1)
-		for _, c := range t.customers[x] {
-			if custDist[c] == custDist[x]-1 {
-				custFlags[x] |= custFlags[c]
-				if best == -1 || c < best {
-					best = c
-				}
-			}
-		}
-		custHop[x] = best
-	}
-
-	// Phase 2: peer routes — one peer hop onto a customer route (or the
-	// origin itself).
-	peerDist := fill32(n, unreached)
-	peerFlags := make([]uint8, n)
-	peerHop := fill32(n, -1)
-	for a := 0; a < n; a++ {
-		for _, b := range t.peers[a] {
-			if custDist[b] == unreached {
-				continue
-			}
-			d := custDist[b] + 1
-			switch {
-			case d < peerDist[a]:
-				peerDist[a] = d
-				peerFlags[a] = custFlags[b]
-				peerHop[a] = b
-			case d == peerDist[a]:
-				peerFlags[a] |= custFlags[b]
-				if b < peerHop[a] {
-					peerHop[a] = b
-				}
-			}
-		}
-	}
-
-	// Phase 3: provider routes — Dijkstra over provider → customer edges.
-	// An AS with a customer or peer route exports that selection to its
-	// customers; ASes without either depend on their providers' provider
-	// routes, hence the priority queue.
-	provDist := fill32(n, unreached)
-	provFlags := make([]uint8, n)
-	provHop := fill32(n, -1)
-	pq := &nodeHeap{}
-	exportLen := func(q int32) int32 {
-		if custDist[q] != unreached {
-			return custDist[q]
-		}
-		if peerDist[q] != unreached {
-			return peerDist[q]
-		}
-		return provDist[q]
-	}
-	for q := int32(0); q < int32(n); q++ {
-		if custDist[q] != unreached || peerDist[q] != unreached {
-			pq.push(node{q, exportLen(q)})
-		}
-	}
-	settled := make([]bool, n)
-	for len(*pq) > 0 {
-		nd := pq.pop()
-		q := nd.id
-		if settled[q] || exportLen(q) != nd.dist {
-			continue
-		}
-		settled[q] = true
-		for _, c := range t.customers[q] {
-			cand := nd.dist + 1
-			if cand < provDist[c] {
-				provDist[c] = cand
-				if custDist[c] == unreached && peerDist[c] == unreached {
-					pq.push(node{c, cand})
-				}
-			}
-		}
-	}
-	// Provider-route flags and hops, relaxed in increasing provDist order.
-	order := make([]int32, 0, n)
-	for a := int32(0); a < int32(n); a++ {
-		if provDist[a] != unreached {
-			order = append(order, a)
-		}
-	}
-	sortByDist(order, provDist)
-	selFlags := func(q int32) uint8 {
-		if custDist[q] != unreached {
-			return custFlags[q]
-		}
-		if peerDist[q] != unreached {
-			return peerFlags[q]
-		}
-		return provFlags[q]
-	}
-	for _, a := range order {
-		best := int32(-1)
-		for _, q := range t.providers[a] {
-			if exportLen(q) != unreached && exportLen(q)+1 == provDist[a] {
-				provFlags[a] |= selFlags(q)
-				if best == -1 || q < best {
-					best = q
-				}
-			}
-		}
-		provHop[a] = best
-	}
-
-	// Selection.
-	routes := make([]Route, n)
-	for a := 0; a < n; a++ {
-		switch {
-		case custDist[a] == 0:
-			routes[a] = Route{Class: ClassOwn, Len: 0, NextHop: -1, Flags: custFlags[a]}
-		case custDist[a] != unreached:
-			routes[a] = Route{Class: ClassCustomer, Len: custDist[a], NextHop: custHop[a], Flags: custFlags[a]}
-		case peerDist[a] != unreached:
-			routes[a] = Route{Class: ClassPeer, Len: peerDist[a], NextHop: peerHop[a], Flags: peerFlags[a]}
-		case provDist[a] != unreached:
-			routes[a] = Route{Class: ClassProvider, Len: provDist[a], NextHop: provHop[a], Flags: provFlags[a]}
-		default:
-			routes[a] = Route{Class: ClassNone, NextHop: -1}
-		}
-	}
-	return routes
+	return t.PropagateInto(nil, origins)
 }
 
 // PropagateFrom is the common single-origin case.
@@ -329,118 +263,6 @@ func Path(routes []Route, from int) []int {
 	return path
 }
 
-// RouteCache computes and memoizes per-destination propagation results.
-// It is safe for concurrent use, and concurrent misses on the same
-// destination are deduplicated singleflight-style: the first caller runs
-// Propagate, every other caller blocks on that in-flight computation
-// instead of duplicating the whole run — under the multi-metro engine many
-// metros ask for the same transit destinations at once. Callers must treat
-// returned routes as read-only.
-type RouteCache struct {
-	t  *Topology
-	mu sync.Mutex
-	// cache and inflight guarded by mu.
-	cache    map[int][]Route
-	inflight map[int]*routeFlight
-	computed int64 // number of Propagate runs actually executed
-}
-
-// routeFlight is one in-progress propagation; routes is written before done
-// is closed and read only after it.
-type routeFlight struct {
-	done   chan struct{}
-	routes []Route
-}
-
-// NewRouteCache returns a cache over t.
-func NewRouteCache(t *Topology) *RouteCache {
-	return &RouteCache{t: t, cache: map[int][]Route{}, inflight: map[int]*routeFlight{}}
-}
-
-// RoutesTo returns (computing if needed) all ASes' best routes toward dest.
-func (c *RouteCache) RoutesTo(dest int) []Route {
-	c.mu.Lock()
-	if r, ok := c.cache[dest]; ok {
-		c.mu.Unlock()
-		return r
-	}
-	if fl, ok := c.inflight[dest]; ok {
-		// Someone else is already propagating this destination: wait for
-		// their result instead of duplicating the run.
-		c.mu.Unlock()
-		<-fl.done
-		return fl.routes
-	}
-	fl := &routeFlight{done: make(chan struct{})}
-	c.inflight[dest] = fl
-	c.computed++
-	c.mu.Unlock()
-
-	fl.routes = c.t.PropagateFrom(dest)
-
-	c.mu.Lock()
-	c.cache[dest] = fl.routes
-	delete(c.inflight, dest)
-	c.mu.Unlock()
-	close(fl.done)
-	return fl.routes
-}
-
-// Contains reports whether dest's routes are already cached. An in-flight
-// computation counts as absent: the caller may still want to join it via
-// RoutesTo, and a prefetcher that skips in-flight destinations would give
-// up the chance to block until they are warm.
-func (c *RouteCache) Contains(dest int) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.cache[dest]
-	return ok
-}
-
-// Computed returns the number of propagation runs executed so far — the
-// cache's miss count after deduplication (used by tests and run stats).
-func (c *RouteCache) Computed() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.computed
-}
-
-// Topology returns the underlying topology.
-func (c *RouteCache) Topology() *Topology { return c.t }
-
-// VisibleLinks returns the AS-level links that appear on the best paths
-// from the monitor ASes toward every destination: the "public BGP view" of
-// a set of collectors. Valley-free export makes peering links invisible
-// unless a monitor sits in one of the peers or their customer cones,
-// reproducing the visibility bias of §1.
-func VisibleLinks(cache *RouteCache, monitors []int, dests []int) map[asgraph.Pair]bool {
-	visible := map[asgraph.Pair]bool{}
-	for _, d := range dests {
-		routes := cache.RoutesTo(d)
-		for _, m := range monitors {
-			p := Path(routes, m)
-			for i := 0; i+1 < len(p); i++ {
-				visible[asgraph.MakePair(p[i], p[i+1])] = true
-			}
-		}
-	}
-	return visible
-}
-
-// LookingGlass returns one AS's full routing view toward the given
-// destinations: the AS-level paths its selected best routes follow. This
-// is the per-operator view the paper queries from public Looking Glass
-// servers (§4.1, Appx. H).
-func LookingGlass(cache *RouteCache, as int, dests []int) map[int][]int {
-	out := make(map[int][]int, len(dests))
-	for _, d := range dests {
-		if p := Path(cache.RoutesTo(d), as); p != nil {
-			out[d] = p
-		}
-	}
-	return out
-}
-
 // Flag bits for hijack experiments.
 const (
 	FlagVictim   uint8 = 1
@@ -451,7 +273,8 @@ const (
 // the victim's announcement is seeded at victimSeeds (the providers that
 // receive the legitimate announcement) and the attacker's at attackerSeeds.
 // The returned slice holds, per AS, the union of origin flags over its
-// routes tied for best.
+// routes tied for best. The run emits only the flag bytes straight off the
+// pooled workspace — the hijack sweeps of Fig. 7 never need full routes.
 func (t *Topology) SimulateHijack(victimSeeds, attackerSeeds []int) []uint8 {
 	origins := make([]Origin, 0, len(victimSeeds)+len(attackerSeeds))
 	for _, s := range victimSeeds {
@@ -460,132 +283,10 @@ func (t *Topology) SimulateHijack(victimSeeds, attackerSeeds []int) []uint8 {
 	for _, s := range attackerSeeds {
 		origins = append(origins, Origin{AS: s, Flag: FlagAttacker})
 	}
-	routes := t.Propagate(origins)
+	s := getScratch(t.n)
+	s.run(t, origins)
 	out := make([]uint8, t.n)
-	for i, r := range routes {
-		if r.Reachable() {
-			out[i] = r.Flags
-		}
-	}
+	s.emitFlags(out)
+	putScratch(s)
 	return out
-}
-
-// FlatteningMetrics summarizes the best-path structure from a set of source
-// ASes toward a set of destinations: the mean AS-path length and the
-// fraction of routes whose selected class at the source is Provider (the
-// source must buy transit to reach the destination).
-type FlatteningMetrics struct {
-	MeanPathLen  float64
-	ProviderFrac float64
-	Reachable    int
-}
-
-// Flattening computes FlatteningMetrics over the given sources and
-// destinations (skipping src == dst and unreachable pairs).
-func Flattening(cache *RouteCache, sources, dests []int) FlatteningMetrics {
-	var m FlatteningMetrics
-	var lenSum float64
-	provider := 0
-	for _, d := range dests {
-		routes := cache.RoutesTo(d)
-		for _, s := range sources {
-			if s == d || !routes[s].Reachable() {
-				continue
-			}
-			m.Reachable++
-			lenSum += float64(routes[s].Len)
-			if routes[s].Class == ClassProvider {
-				provider++
-			}
-		}
-	}
-	if m.Reachable > 0 {
-		m.MeanPathLen = lenSum / float64(m.Reachable)
-		m.ProviderFrac = float64(provider) / float64(m.Reachable)
-	}
-	return m
-}
-
-// --- helpers ---
-
-type node struct {
-	id   int32
-	dist int32
-}
-
-// nodeHeap is a typed binary min-heap on dist. It replaces the earlier
-// container/heap implementation: Push/Pop through the heap.Interface box
-// every node in an interface{}, which on the Dijkstra phase of Propagate
-// meant one allocation per queue operation. The typed sift loops keep the
-// queue allocation-free after the backing array warms up.
-type nodeHeap []node
-
-func (h *nodeHeap) push(x node) {
-	*h = append(*h, x)
-	s := *h
-	i := len(s) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if s[parent].dist <= s[i].dist {
-			break
-		}
-		s[parent], s[i] = s[i], s[parent]
-		i = parent
-	}
-}
-
-func (h *nodeHeap) pop() node {
-	s := *h
-	top := s[0]
-	last := len(s) - 1
-	s[0] = s[last]
-	s = s[:last]
-	*h = s
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= last {
-			break
-		}
-		small := l
-		if r := l + 1; r < last && s[r].dist < s[l].dist {
-			small = r
-		}
-		if s[i].dist <= s[small].dist {
-			break
-		}
-		s[i], s[small] = s[small], s[i]
-		i = small
-	}
-	return top
-}
-
-func fill32(n int, v int32) []int32 {
-	s := make([]int32, n)
-	for i := range s {
-		s[i] = v
-	}
-	return s
-}
-
-func sortByDist(ids []int32, dist []int32) {
-	// Insertion-friendly small sort is not enough; use a simple counting
-	// bucket sort since distances are small non-negative ints.
-	maxD := int32(0)
-	for _, id := range ids {
-		if dist[id] > maxD {
-			maxD = dist[id]
-		}
-	}
-	buckets := make([][]int32, maxD+1)
-	for _, id := range ids {
-		buckets[dist[id]] = append(buckets[dist[id]], id)
-	}
-	k := 0
-	for _, b := range buckets {
-		for _, id := range b {
-			ids[k] = id
-			k++
-		}
-	}
 }

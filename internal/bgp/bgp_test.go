@@ -264,8 +264,18 @@ func TestRouteCacheMemoizes(t *testing.T) {
 	c := NewRouteCache(top)
 	r1 := c.RoutesTo(5)
 	r2 := c.RoutesTo(5)
-	if &r1[0] != &r2[0] {
-		t.Fatalf("cache should return the same slice")
+	if &r1.class[0] != &r2.class[0] {
+		t.Fatalf("cache should return the same packed view")
+	}
+	if got := c.Computed(); got != 1 {
+		t.Fatalf("Computed = %d, want 1", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Computed != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 computed / 1 entry", st)
+	}
+	if want := int64(r1.Bytes()); st.Bytes != want {
+		t.Fatalf("stats bytes %d, want %d", st.Bytes, want)
 	}
 	if c.Topology() != top {
 		t.Fatalf("Topology accessor wrong")

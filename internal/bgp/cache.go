@@ -1,0 +1,335 @@
+package bgp
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"metascritic/internal/asgraph"
+)
+
+// numShards spreads the route cache over independently locked shards so
+// concurrent metros (and fan-out workers) touching different destinations
+// never contend on one mutex. 16 is comfortably above the engine's worker
+// counts and keeps the shard picker a shift-and-mask.
+const numShards = 16
+
+// shardOf maps a destination to its shard with a Fibonacci hash — cheap
+// and well mixed even for the sequential destination ids the experiments
+// sweep.
+func shardOf(dest int) uint32 {
+	return (uint32(dest) * 0x9E3779B9) >> 28 & (numShards - 1)
+}
+
+// RouteCache computes and memoizes per-destination propagation results in
+// the packed Routes encoding. It is safe for concurrent use: the cache is
+// sharded by destination hash, and concurrent misses on the same
+// destination are deduplicated singleflight-style — the first caller runs
+// the propagation, every other caller blocks on that in-flight computation
+// instead of duplicating the run. Under the multi-metro engine many metros
+// ask for the same transit destinations at once.
+//
+// Returned Routes views are immutable; callers may hold them indefinitely.
+type RouteCache struct {
+	t      *Topology
+	shards [numShards]cacheShard
+
+	// propNanos accumulates wall-time spent inside propagation runs
+	// (summed across workers, so it can exceed elapsed time on
+	// multi-core fan-outs).
+	propNanos atomic.Int64
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	cache    map[int]Routes
+	inflight map[int]*routeFlight
+	hits     int64 // lookups served from cache
+	computed int64 // propagation runs actually executed
+	bytes    int64 // packed storage held by this shard
+}
+
+// routeFlight is one in-progress propagation; routes is written before
+// done is closed and read only after it.
+type routeFlight struct {
+	done   chan struct{}
+	routes Routes
+}
+
+// NewRouteCache returns a cache over t.
+func NewRouteCache(t *Topology) *RouteCache {
+	c := &RouteCache{t: t}
+	for i := range c.shards {
+		c.shards[i].cache = map[int]Routes{}
+		c.shards[i].inflight = map[int]*routeFlight{}
+	}
+	return c
+}
+
+// RoutesTo returns (computing if needed) all ASes' best routes toward
+// dest as a packed view.
+func (c *RouteCache) RoutesTo(dest int) Routes {
+	return c.routesTo(dest, nil)
+}
+
+// routesTo is RoutesTo with an optional caller-owned propagation scratch;
+// fan-out workers pass their per-worker scratch, single lookups borrow one
+// from the pool for the duration of the run.
+func (c *RouteCache) routesTo(dest int, s *propScratch) Routes {
+	sh := &c.shards[shardOf(dest)]
+	sh.mu.Lock()
+	if r, ok := sh.cache[dest]; ok {
+		sh.hits++
+		sh.mu.Unlock()
+		return r
+	}
+	if fl, ok := sh.inflight[dest]; ok {
+		// Someone else is already propagating this destination: wait for
+		// their result instead of duplicating the run.
+		sh.mu.Unlock()
+		<-fl.done
+		return fl.routes
+	}
+	fl := &routeFlight{done: make(chan struct{})}
+	sh.inflight[dest] = fl
+	sh.computed++
+	sh.mu.Unlock()
+
+	scratch := s
+	if scratch == nil {
+		scratch = getScratch(c.t.n)
+	}
+	start := time.Now()
+	scratch.origin1[0] = Origin{AS: dest, Flag: 1}
+	scratch.run(c.t, scratch.origin1[:])
+	r := newRoutes(c.t.n)
+	scratch.emitPacked(r)
+	c.propNanos.Add(time.Since(start).Nanoseconds())
+	if s == nil {
+		putScratch(scratch)
+	}
+	fl.routes = r
+
+	sh.mu.Lock()
+	sh.cache[dest] = r
+	sh.bytes += int64(r.Bytes())
+	delete(sh.inflight, dest)
+	sh.mu.Unlock()
+	close(fl.done)
+	return r
+}
+
+// Contains reports whether dest's routes are already cached. An in-flight
+// computation counts as absent: the caller may still want to join it via
+// RoutesTo, and a prefetcher that skips in-flight destinations would give
+// up the chance to block until they are warm.
+func (c *RouteCache) Contains(dest int) bool {
+	sh := &c.shards[shardOf(dest)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.cache[dest]
+	return ok
+}
+
+// Warm computes routes for every distinct destination in dests that is not
+// yet cached, fanning the propagation runs over a bounded worker pool with
+// one pooled scratch per worker. It returns the number of distinct missing
+// destinations it set out to compute. Cancelling ctx stops the fan-out
+// early; destinations already claimed keep computing via singleflight, so
+// no waiter is ever stranded.
+func (c *RouteCache) Warm(ctx context.Context, dests []int, workers int) int {
+	seen := make(map[int]struct{}, len(dests))
+	todo := make([]int, 0, len(dests))
+	for _, d := range dests {
+		if _, ok := seen[d]; ok {
+			continue
+		}
+		seen[d] = struct{}{}
+		if !c.Contains(d) {
+			todo = append(todo, d)
+		}
+	}
+	if len(todo) == 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			s := getScratch(c.t.n)
+			defer putScratch(s)
+			for {
+				if ctx != nil && ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1) - 1)
+				if i >= len(todo) {
+					return
+				}
+				c.routesTo(todo[i], s)
+			}
+		}()
+	}
+	wg.Wait()
+	return len(todo)
+}
+
+// RoutesToAll is the batch form of RoutesTo: it warms every distinct
+// missing destination across the worker pool, then gathers the views in
+// input order (out[i] corresponds to dests[i]; duplicate destinations
+// share one cached view). On cancellation it returns ctx.Err without
+// gathering.
+func (c *RouteCache) RoutesToAll(ctx context.Context, dests []int, workers int) ([]Routes, error) {
+	c.Warm(ctx, dests, workers)
+	if ctx != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	out := make([]Routes, len(dests))
+	for i, d := range dests {
+		out[i] = c.routesTo(d, nil)
+	}
+	return out, nil
+}
+
+// Computed returns the number of propagation runs executed so far — the
+// cache's miss count after singleflight deduplication (used by tests and
+// run stats).
+func (c *RouteCache) Computed() int64 {
+	var total int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		total += sh.computed
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Topology returns the underlying topology.
+func (c *RouteCache) Topology() *Topology { return c.t }
+
+// CacheStats is a point-in-time snapshot of a route cache's counters,
+// surfaced through engine.RunStats and the CLI batch summary.
+type CacheStats struct {
+	Shards   int           // number of lock shards
+	Entries  int           // cached destinations
+	Bytes    int64         // packed route storage held
+	Hits     int64         // lookups served from cache
+	Computed int64         // propagation runs executed (misses after dedup)
+	PropTime time.Duration // wall-time summed over propagation runs
+}
+
+// Stats snapshots the cache counters across all shards.
+func (c *RouteCache) Stats() CacheStats {
+	st := CacheStats{Shards: numShards, PropTime: time.Duration(c.propNanos.Load())}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Entries += len(sh.cache)
+		st.Bytes += sh.bytes
+		st.Hits += sh.hits
+		st.Computed += sh.computed
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// VisibleLinks returns the AS-level links that appear on the best paths
+// from the monitor ASes toward every destination: the "public BGP view" of
+// a set of collectors. Valley-free export makes peering links invisible
+// unless a monitor sits in one of the peers or their customer cones,
+// reproducing the visibility bias of §1.
+//
+// Per destination the selected routes form an in-tree (one next hop per
+// AS), so instead of re-walking one full path per monitor the walk stops
+// at the first AS already visited for this destination — every link past
+// it was emitted by an earlier monitor's walk.
+func VisibleLinks(cache *RouteCache, monitors []int, dests []int) map[asgraph.Pair]bool {
+	visible := map[asgraph.Pair]bool{}
+	n := cache.t.n
+	visited := make([]uint32, n)
+	var epoch uint32
+	for _, d := range dests {
+		routes := cache.RoutesTo(d)
+		epoch++
+		for _, m := range monitors {
+			if m < 0 || m >= n || !routes.Reachable(m) {
+				continue
+			}
+			cur := m
+			for steps := 0; routes.Class(cur) != ClassOwn; steps++ {
+				if visited[cur] == epoch {
+					break // suffix already emitted for this destination
+				}
+				visited[cur] = epoch
+				nh := routes.NextHop(cur)
+				if nh < 0 || steps > n {
+					break // defensive: corrupt route state
+				}
+				visible[asgraph.MakePair(cur, nh)] = true
+				cur = nh
+			}
+		}
+	}
+	return visible
+}
+
+// LookingGlass returns one AS's full routing view toward the given
+// destinations: the AS-level paths its selected best routes follow. This
+// is the per-operator view the paper queries from public Looking Glass
+// servers (§4.1, Appx. H).
+func LookingGlass(cache *RouteCache, as int, dests []int) map[int][]int {
+	out := make(map[int][]int, len(dests))
+	for _, d := range dests {
+		if p := cache.RoutesTo(d).PathFrom(as); p != nil {
+			out[d] = p
+		}
+	}
+	return out
+}
+
+// FlatteningMetrics summarizes the best-path structure from a set of source
+// ASes toward a set of destinations: the mean AS-path length and the
+// fraction of routes whose selected class at the source is Provider (the
+// source must buy transit to reach the destination).
+type FlatteningMetrics struct {
+	MeanPathLen  float64
+	ProviderFrac float64
+	Reachable    int
+}
+
+// Flattening computes FlatteningMetrics over the given sources and
+// destinations (skipping src == dst and unreachable pairs).
+func Flattening(cache *RouteCache, sources, dests []int) FlatteningMetrics {
+	var m FlatteningMetrics
+	var lenSum float64
+	provider := 0
+	for _, d := range dests {
+		routes := cache.RoutesTo(d)
+		for _, s := range sources {
+			if s == d || !routes.Reachable(s) {
+				continue
+			}
+			m.Reachable++
+			lenSum += float64(routes.PathLen(s))
+			if routes.Class(s) == ClassProvider {
+				provider++
+			}
+		}
+	}
+	if m.Reachable > 0 {
+		m.MeanPathLen = lenSum / float64(m.Reachable)
+		m.ProviderFrac = float64(provider) / float64(m.Reachable)
+	}
+	return m
+}

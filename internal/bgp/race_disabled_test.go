@@ -1,0 +1,7 @@
+//go:build !race
+
+package bgp
+
+// raceEnabled reports whether the race detector is active; sync.Pool
+// deliberately drops items under -race, so allocation pins are skipped.
+const raceEnabled = false

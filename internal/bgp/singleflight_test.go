@@ -16,7 +16,7 @@ func TestRouteCacheSingleflight(t *testing.T) {
 
 	const callers = 16
 	dests := []int{5, 17, 42}
-	results := make([][]Route, callers*len(dests))
+	results := make([]Routes, callers*len(dests))
 	var start, done sync.WaitGroup
 	start.Add(1)
 	for w := 0; w < callers; w++ {
@@ -39,11 +39,11 @@ func TestRouteCacheSingleflight(t *testing.T) {
 		for di := range dests {
 			a := results[di]
 			b := results[w*len(dests)+di]
-			if len(a) != len(b) {
+			if a.Len() != b.Len() {
 				t.Fatalf("result length mismatch for dest %d", dests[di])
 			}
-			for i := range a {
-				if a[i] != b[i] {
+			for i := 0; i < a.Len(); i++ {
+				if a.At(i) != b.At(i) {
 					t.Fatalf("caller %d saw different routes for dest %d at AS %d", w, dests[di], i)
 				}
 			}

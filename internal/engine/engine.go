@@ -289,6 +289,9 @@ func (e *Engine) RunAll(ctx context.Context, cfg Config) (*MultiResult, error) {
 		out.Stats.Phases.Estimate += stats[i].Phases.Estimate
 		out.Stats.Phases.Measure.Merge(stats[i].Phases.Measure)
 	}
+	// Snapshots share the baseline pipeline's traceroute engine and its
+	// route cache, so this snapshot covers the whole batch.
+	out.Stats.RouteCache = e.pipe.Engine.Cache.Stats()
 	return out, nil
 }
 

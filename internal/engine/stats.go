@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"metascritic"
+	"metascritic/internal/bgp"
 )
 
 // MetroStats summarizes one metro run inside a batch.
@@ -41,6 +42,10 @@ type RunStats struct {
 	BootstrapMeasurements int
 	// Phases sums the per-phase wall-clock over all metros.
 	Phases metascritic.PhaseTimings
+	// RouteCache snapshots the shared route cache at the end of the batch:
+	// all metros propagate over one true topology, so the shard/byte/hit
+	// counters are batch-global.
+	RouteCache bgp.CacheStats
 	// PerMetro holds one entry per metro, in scheduling order.
 	PerMetro []MetroStats
 }

@@ -1,7 +1,9 @@
 package eval
 
 import (
+	"context"
 	"math/rand"
+	"runtime"
 	"sort"
 
 	"metascritic"
@@ -69,6 +71,9 @@ func (h *Harness) publicView() map[asgraph.Pair]bool {
 		dests[i] = i
 	}
 	cache := bgp.NewRouteCache(bgp.FromGraph(g))
+	// Warm the whole destination sweep over the worker pool before the
+	// serial link walk — the propagations dominate, the walk is cheap.
+	cache.Warm(context.Background(), dests, runtime.GOMAXPROCS(0))
 	h.pubView = bgp.VisibleLinks(cache, monitors, dests)
 	h.pubCache = cache
 	return h.pubView
@@ -243,10 +248,12 @@ func (h *Harness) communityTaggedLinks(metro int) map[asgraph.Pair]bool {
 		}
 	}
 	out := map[asgraph.Pair]bool{}
+	var pathBuf []int
 	for d := 0; d < g.N(); d++ {
 		routes := h.pubCache.RoutesTo(d)
 		for _, m := range monitors {
-			p := bgp.Path(routes, m)
+			p := routes.AppendPathFrom(pathBuf[:0], m)
+			pathBuf = p
 			// Walk from the collector toward the origin; communities are
 			// stamped at the receiver side of each crossing and must
 			// survive every AS between the stamper and the collector.

@@ -11,7 +11,6 @@ package traceroute
 
 import (
 	"context"
-	"sync"
 	"sync/atomic"
 
 	"metascritic/internal/asgraph"
@@ -71,48 +70,18 @@ func NewEngine(w *netsim.World) *Engine {
 
 // PrefetchRoutes warms the engine's route cache for the distinct,
 // not-yet-cached destinations in dests, computing propagations on up to
-// workers concurrent goroutines. It is the batch-level warm-up of the
+// workers concurrent goroutines (the cache's batched fan-out, one pooled
+// propagation scratch per worker). It is the batch-level warm-up of the
 // speculative measurement pipeline: a fan-out whose destinations are
 // already cached never serializes on singleflight propagation. Prefetching
 // issues no traceroutes (the Issued counter is untouched) and returns the
 // number of destinations actually warmed. A nil ctx is treated as
 // non-cancellable.
 func (e *Engine) PrefetchRoutes(ctx context.Context, dests []int, workers int) int {
-	var todo []int
-	seen := make(map[int]bool, len(dests))
-	for _, d := range dests {
-		if seen[d] || e.Cache.Contains(d) {
-			continue
-		}
-		seen[d] = true
-		todo = append(todo, d)
-	}
-	if len(todo) == 0 {
-		return 0
-	}
-	if workers > len(todo) {
-		workers = len(todo)
-	}
 	if workers < 1 {
 		workers = 1
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(todo) || (ctx != nil && ctx.Err() != nil) {
-					return
-				}
-				e.Cache.RoutesTo(todo[i])
-			}
-		}()
-	}
-	wg.Wait()
-	return len(todo)
+	return e.Cache.Warm(ctx, dests, workers)
 }
 
 // Run issues one traceroute from a probe in vpAS at vpMetro toward an
@@ -136,7 +105,7 @@ func (e *Engine) RunTarget(vpAS, vpMetro, dstAS, dstMetro int) Trace {
 		return tr
 	}
 	routes := e.Cache.RoutesTo(dstAS)
-	path := bgp.Path(routes, vpAS)
+	path := routes.PathFrom(vpAS)
 	if path == nil {
 		return tr // no route: empty traceroute
 	}
@@ -183,7 +152,7 @@ const DetourRate = 0.25
 // maybeDetour rewrites the first hop of a path for inconsistent source
 // ASes: with probability DetourRate per flow, a peer-link first hop is
 // replaced by a provider detour (when the provider has a loop-free route).
-func (e *Engine) maybeDetour(path []int, routes []bgp.Route, flow int) []int {
+func (e *Engine) maybeDetour(path []int, routes bgp.Routes, flow int) []int {
 	if len(path) < 2 {
 		return path
 	}
@@ -202,7 +171,7 @@ func (e *Engine) maybeDetour(path []int, routes []bgp.Route, flow int) []int {
 		return path
 	}
 	p := provs[int(ipmap.Hash3(flow, x, 0x11))%len(provs)]
-	alt := bgp.Path(routes, p)
+	alt := routes.PathFrom(p)
 	if alt == nil {
 		return path
 	}
@@ -289,14 +258,14 @@ func (e *Engine) ingressAddr(x, y, m, dst int) ipmap.Addr {
 // ASPath returns the Gao-Rexford best AS-level path from src to dst
 // (ground truth; the inference pipeline sees only hops).
 func (e *Engine) ASPath(src, dst int) []int {
-	return bgp.Path(e.Cache.RoutesTo(dst), src)
+	return e.Cache.RoutesTo(dst).PathFrom(src)
 }
 
 // EffectivePath returns the AS-level path a traceroute toward the given
 // target actually follows, including any traffic-engineering detour.
 func (e *Engine) EffectivePath(src, dst, dstMetro int) []int {
 	routes := e.Cache.RoutesTo(dst)
-	path := bgp.Path(routes, src)
+	path := routes.PathFrom(src)
 	if path == nil {
 		return nil
 	}

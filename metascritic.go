@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
@@ -240,18 +241,27 @@ func (p *Pipeline) VPs() []probe.VP {
 // traces seed E_m before any targeted measurement.
 func (p *Pipeline) SeedPublicMeasurements(perProbe int, rng *rand.Rand) int {
 	n := p.World.G.N()
-	count := 0
+	// Draw the full plan first (the RNG sequence is part of the pipeline's
+	// determinism contract), warm the route cache for every distinct
+	// destination across the worker pool, then replay the traces in order.
+	type seedTrace struct{ as, metro, dst int }
+	plan := make([]seedTrace, 0, len(p.World.Probes)*perProbe)
+	dests := make([]int, 0, len(p.World.Probes)*perProbe)
 	for _, pr := range p.World.Probes {
 		for k := 0; k < perProbe; k++ {
 			dst := rng.Intn(n)
 			if dst == pr.AS {
 				continue
 			}
-			p.Store.AddTrace(p.Engine.Run(pr.AS, pr.Metro, dst))
-			count++
+			plan = append(plan, seedTrace{pr.AS, pr.Metro, dst})
+			dests = append(dests, dst)
 		}
 	}
-	return count
+	p.Engine.PrefetchRoutes(nil, dests, runtime.GOMAXPROCS(0))
+	for _, t := range plan {
+		p.Store.AddTrace(p.Engine.Run(t.as, t.metro, t.dst))
+	}
+	return len(plan)
 }
 
 // BuildFeatures assembles the per-member feature matrix used by the hybrid
