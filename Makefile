@@ -4,12 +4,12 @@ GO ?= go
 # METASCRITIC_BENCH_SCALE, select the completion / rank-sweep / propagation
 # micro-benchmarks, record machine-readable results for later PRs to diff.
 BENCH_SCALE ?= 0.05
-BENCH_PATTERN = BenchmarkComplete|BenchmarkRankEstimate|BenchmarkPropagate$$|BenchmarkPropagateInto|BenchmarkRoutesToAll|BenchmarkVisibleLinks|BenchmarkRunMetro|BenchmarkStore
-BENCH_PKGS = . ./internal/als ./internal/rank ./internal/bgp ./internal/obs
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_PATTERN = BenchmarkComplete|BenchmarkRankEstimate|BenchmarkPropagate$$|BenchmarkPropagateInto|BenchmarkRoutesToAll|BenchmarkVisibleLinks|BenchmarkRunMetro|BenchmarkStore|BenchmarkEstimateHandler|BenchmarkSnapshotLoad
+BENCH_PKGS = . ./internal/als ./internal/rank ./internal/bgp ./internal/obs ./internal/api ./internal/api/snapshot
+BENCH_OUT ?= BENCH_PR6.json
 BENCH_BASELINE ?=
 
-.PHONY: build test check bench bench-engine race-measure race-obs race-bgp clean
+.PHONY: build test check bench bench-engine race-measure race-obs race-bgp race-api clean
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,12 @@ race-obs:
 # overlapping destination sets, and per-worker propagation scratches.
 race-bgp:
 	$(GO) test -race ./internal/bgp/
+
+# race-api exercises the serving daemon under the race detector: readers
+# on the atomically-swapped State while runs commit, middleware
+# coalescing/limiting, and the run manager's drain/cancel paths.
+race-api:
+	$(GO) test -race ./internal/api/... ./internal/engine/ ./cmd/metascriticd/
 
 clean:
 	$(GO) clean ./...

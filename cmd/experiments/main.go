@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"metascritic/experiments"
+	"metascritic/internal/cliflags"
 	"metascritic/internal/report"
 )
 
@@ -31,13 +32,14 @@ func main() {
 }
 
 func run() error {
-	scale := flag.Float64("scale", 0.2, "world scale (1.0 ≈ paper-like metro sizes)")
-	seed := flag.Int64("seed", 1, "experiment seed")
-	budget := flag.Int("budget", 8000, "targeted traceroute budget per metro")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	mdOut := flag.String("md", "", "also write all tables as a markdown report to this file")
 	workers := flag.Int("workers", 1, "run the study metros concurrently on this many workers before the sweep")
+	wf := cliflags.World{Scale: 0.2, Seed: 1}
+	budget := flag.Int("budget", 8000, "targeted traceroute budget per metro")
+	wf.Register(flag.CommandLine)
 	flag.Parse()
+	scale, seed := &wf.Scale, &wf.Seed
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

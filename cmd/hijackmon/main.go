@@ -14,16 +14,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"os/signal"
-	"sort"
 	"syscall"
 
 	"metascritic"
-	"metascritic/internal/asgraph"
-	"metascritic/internal/bgp"
+	"metascritic/internal/cliflags"
 	"metascritic/internal/engine"
+	"metascritic/internal/forensics"
 )
 
 func main() {
@@ -34,18 +32,21 @@ func main() {
 }
 
 func run() error {
-	scale := flag.Float64("scale", 0.2, "world scale")
-	seed := flag.Int64("seed", 1, "world seed")
 	victimMetro := flag.String("victim", "Sydney", "metro of the legitimate announcement")
 	attackerMetro := flag.String("attacker", "Tokyo", "metro of the hijacking announcement")
 	thr := flag.Float64("thr", 0.5, "link threshold λ for inferred links")
-	budget := flag.Int("budget", 6000, "traceroute budget per metro")
+	pf := cliflags.DefaultPipeline()
+	pf.Scale = 0.2
+	ef := cliflags.DefaultEngine()
+	ef.Budget = 6000
+	pf.Register(flag.CommandLine)
+	ef.Register(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	w := metascritic.GenerateWorld(metascritic.WorldConfig{Seed: *seed, Metros: metascritic.DefaultMetros(*scale)})
+	w, pipe, _ := pf.Build()
 	g := w.G
 	vm := g.MetroOfName(*victimMetro)
 	am := g.MetroOfName(*attackerMetro)
@@ -54,125 +55,40 @@ func run() error {
 	}
 
 	// Run metAScritic on both metros concurrently through the engine.
-	pipe := metascritic.NewPipeline(w)
-	rng := rand.New(rand.NewSource(*seed))
-	pipe.SeedPublicMeasurements(10, rng)
 	cfg := metascritic.DefaultConfig()
-	cfg.MaxMeasurements = *budget
-	cfg.Seed = *seed
+	ef.Apply(&cfg, pf.Seed)
 	fmt.Printf("running metAScritic on %s and %s...\n", vm.Name, am.Name)
 	metros := []int{vm.Index, am.Index}
 	if vm.Index == am.Index {
 		metros = metros[:1]
 	}
 	mr, err := engine.New(pipe).RunAll(ctx, engine.Config{
-		Base:   cfg,
-		Metros: metros,
+		Base:        cfg,
+		Metros:      metros,
+		Workers:     ef.Workers,
+		SharePriors: ef.SharePriors,
 	})
 	if err != nil {
 		return fmt.Errorf("run metros %s and %s: %w", vm.Name, am.Name, err)
 	}
 	resV, resA := mr.Result(vm.Index), mr.Result(am.Index)
 
-	// Announcement seeds: a couple of transit providers at each metro.
-	seeds := func(m *asgraph.Metro) []int {
-		var out []int
-		for _, ai := range m.Members {
-			c := g.ASes[ai].Class
-			if (c == asgraph.Transit || c == asgraph.LargeISP) && len(out) < 2 {
-				out = append(out, ai)
-			}
-		}
-		return out
+	threshold := *thr
+	if threshold <= 0 {
+		threshold = resV.Threshold
 	}
-	vict, att := seeds(vm), seeds(am)
-	if len(vict) == 0 || len(att) == 0 {
-		return fmt.Errorf("no transit seeds at metro %s or %s", vm.Name, am.Name)
+	rep, err := forensics.Analyze(w, vm, am, []*metascritic.Result{resV, resA}, threshold)
+	if err != nil {
+		return err
 	}
 
-	// Ground truth.
-	truth := bgp.FromGraph(g)
-	actual := truth.SimulateHijack(vict, att)
+	fmt.Printf("\nvictim seeds %v at %s, attacker seeds %v at %s\n", rep.VictimASNs, rep.VictimMetro, rep.AttackerASNs, rep.AttackerMetro)
+	fmt.Printf("ground truth: %d of %d ASes receive the hijacked route\n\n", rep.ActualHijacked, rep.TotalASes)
 
-	// Prediction topologies: known c2p relationships + peering link sets.
-	buildTopo := func(extra []asgraph.Pair) *bgp.Topology {
-		t := bgp.NewTopology(g.N())
-		for c := range g.Providers {
-			for _, p := range g.Providers[c] {
-				t.AddC2P(c, p)
-			}
-		}
-		added := map[asgraph.Pair]bool{}
-		for _, pr := range extra {
-			if added[pr] || g.HasProvider(pr.A, pr.B) || g.HasProvider(pr.B, pr.A) {
-				continue
-			}
-			added[pr] = true
-			t.AddP2P(pr.A, pr.B)
-		}
-		return t
-	}
-	// Public view: Tier1 mesh only (the minimum any collector sees).
-	var pub []asgraph.Pair
-	for a := range g.Peers {
-		if g.ASes[a].Class != asgraph.Tier1 {
-			continue
-		}
-		for _, b := range g.Peers[a] {
-			if a < b && g.ASes[b].Class == asgraph.Tier1 {
-				pub = append(pub, asgraph.MakePair(a, b))
-			}
-		}
-	}
-	ext := append([]asgraph.Pair(nil), pub...)
-	for _, res := range []*metascritic.Result{resV, resA} {
-		prog := metascritic.NewProgressiveTopology(res)
-		for _, l := range prog.AtConfidence(*thr) {
-			ext = append(ext, l.Pair)
-		}
-	}
-
-	score := func(t *bgp.Topology) (acc float64, hijacked int) {
-		pred := t.SimulateHijack(vict, att)
-		good := 0
-		for as := range actual {
-			actHij := actual[as]&bgp.FlagAttacker != 0
-			predHij := pred[as]&bgp.FlagAttacker != 0
-			predLegit := pred[as]&bgp.FlagVictim != 0
-			if predHij == actHij || (predHij && predLegit) {
-				good++
-			}
-			if predHij {
-				hijacked++
-			}
-		}
-		return float64(good) / float64(len(actual)), hijacked
-	}
-
-	actualHijacked := 0
-	for _, f := range actual {
-		if f&bgp.FlagAttacker != 0 {
-			actualHijacked++
-		}
-	}
-	sort.Ints(vict)
-	sort.Ints(att)
-	fmt.Printf("\nvictim seeds %v at %s, attacker seeds %v at %s\n", asns(g, vict), vm.Name, asns(g, att), am.Name)
-	fmt.Printf("ground truth: %d of %d ASes receive the hijacked route\n\n", actualHijacked, g.N())
-
-	accPub, hijPub := score(buildTopo(pub))
-	accExt, hijExt := score(buildTopo(ext))
-	fmt.Printf("%-28s accuracy %.3f  predicted-hijacked %d\n", "public BGP topology:", accPub, hijPub)
-	fmt.Printf("%-28s accuracy %.3f  predicted-hijacked %d\n", "+ metAScritic links:", accExt, hijExt)
-	fmt.Printf("\naccuracy delta from metAScritic links: %+.1f points\n", 100*(accExt-accPub))
+	fmt.Printf("%-28s accuracy %.3f  predicted-hijacked %d\n", "public BGP topology:", rep.Public.Accuracy, rep.Public.PredictedHijacked)
+	fmt.Printf("%-28s accuracy %.3f  predicted-hijacked %d\n", "+ metAScritic links:", rep.Extended.Accuracy, rep.Extended.PredictedHijacked)
+	fmt.Printf("\naccuracy delta from metAScritic links: %+.1f points (%d links added)\n",
+		100*(rep.Extended.Accuracy-rep.Public.Accuracy), rep.ExtraLinks)
 	fmt.Println("(single configuration; the Fig. 7 experiment aggregates 90 of them)")
 	return nil
-}
-
-func asns(g *asgraph.Graph, idx []int) []int {
-	out := make([]int, len(idx))
-	for i, x := range idx {
-		out[i] = g.ASes[x].ASN
-	}
-	return out
 }

@@ -13,14 +13,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"os/signal"
-	"runtime"
 	"sort"
 	"syscall"
 
 	"metascritic"
+	"metascritic/internal/api/snapshot"
+	"metascritic/internal/cliflags"
 	"metascritic/internal/engine"
 )
 
@@ -34,35 +34,32 @@ func main() {
 func run() error {
 	metroName := flag.String("metro", "Sydney", "metro to run (e.g. Amsterdam, NewYork, SaoPaulo, Singapore, Sydney, Tokyo)")
 	all := flag.Bool("all", false, "run every study metro concurrently through the engine")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for -all")
-	sharePriors := flag.Bool("share-priors", true, "with -all, stream learned strategy priors from finished metros into later ones")
-	scale := flag.Float64("scale", 0.25, "world scale (1.0 ≈ paper-like metro sizes)")
-	seed := flag.Int64("seed", 1, "world and pipeline seed")
-	budget := flag.Int("budget", 20000, "targeted traceroute budget")
-	public := flag.Int("public", 10, "public seed traceroutes per probe")
 	top := flag.Int("top", 20, "number of top inferred links to print")
 	jsonOut := flag.String("json", "", "write the inferred topology as JSON to this file ('-' for stdout)")
+	savePath := flag.String("save", "", "write a serving snapshot (world + evidence + results) for metascriticd -load")
+	pf := cliflags.DefaultPipeline()
+	ef := cliflags.DefaultEngine()
+	pf.Register(flag.CommandLine)
+	ef.Register(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	w := metascritic.GenerateWorld(metascritic.WorldConfig{
-		Seed:   *seed,
-		Metros: metascritic.DefaultMetros(*scale),
-	})
-	p := metascritic.NewPipeline(w)
-	rng := rand.New(rand.NewSource(*seed))
-	n := p.SeedPublicMeasurements(*public, rng)
+	worldCfg := pf.Config()
+	w, p, n := pf.Build()
 	fmt.Printf("world: %d ASes, %d metros, %d probes; %d public traceroutes seeded\n",
 		w.G.N(), len(w.G.Metros), len(w.Probes), n)
 
 	cfg := metascritic.DefaultConfig()
-	cfg.MaxMeasurements = *budget
-	cfg.Seed = *seed
+	ef.Apply(&cfg, pf.Seed)
 
 	if *all {
-		return runAll(ctx, w, p, cfg, *workers, *sharePriors)
+		mr, err := runAll(ctx, w, p, cfg, ef.Workers, ef.SharePriors)
+		if err != nil {
+			return err
+		}
+		return save(*savePath, worldCfg, p, mr.Results)
 	}
 
 	metro := w.G.MetroOfName(*metroName)
@@ -74,7 +71,7 @@ func run() error {
 		return fmt.Errorf("unknown metro %q; available:\n%s", *metroName, joinLines(names))
 	}
 
-	res, err := p.RunMetroContext(ctx, metro.Index, cfg)
+	res, err := p.Run(ctx, metro.Index, cfg)
 	if err != nil {
 		return fmt.Errorf("run metro %s: %w", metro.Name, err)
 	}
@@ -86,12 +83,25 @@ func run() error {
 		}
 	}
 	printTopLinks(w, res, *top)
+	return save(*savePath, worldCfg, p, map[int]*metascritic.Result{res.Metro: res})
+}
+
+// save persists a serving snapshot for metascriticd -load (no-op
+// without -save).
+func save(path string, worldCfg metascritic.WorldConfig, p *metascritic.Pipeline, results map[int]*metascritic.Result) error {
+	if path == "" {
+		return nil
+	}
+	if err := snapshot.Save(path, snapshot.Capture(worldCfg, p, results)); err != nil {
+		return fmt.Errorf("save snapshot: %w", err)
+	}
+	fmt.Printf("\nserving snapshot (%d metros) written to %s\n", len(results), path)
 	return nil
 }
 
 // runAll drives the six study metros through the concurrent engine,
 // narrating progress events as workers pick metros up and finish them.
-func runAll(ctx context.Context, w *metascritic.World, p *metascritic.Pipeline, cfg metascritic.Config, workers int, sharePriors bool) error {
+func runAll(ctx context.Context, w *metascritic.World, p *metascritic.Pipeline, cfg metascritic.Config, workers int, sharePriors bool) (*engine.MultiResult, error) {
 	eng := engine.New(p)
 	events := make(chan engine.Event, 16)
 	done := make(chan struct{})
@@ -123,7 +133,7 @@ func runAll(ctx context.Context, w *metascritic.World, p *metascritic.Pipeline, 
 	close(events)
 	<-done
 	if err != nil {
-		return fmt.Errorf("run all metros: %w", err)
+		return nil, fmt.Errorf("run all metros: %w", err)
 	}
 
 	fmt.Printf("\n%-12s %6s %6s %10s %8s %8s\n", "metro", "rank", "links", "measured", "boot", "λ")
@@ -144,7 +154,7 @@ func runAll(ctx context.Context, w *metascritic.World, p *metascritic.Pipeline, 
 	rc := s.RouteCache
 	fmt.Printf("route cache: %d destinations over %d shards (%.1f MiB), %d hits / %d computed, %v propagating\n",
 		rc.Entries, rc.Shards, float64(rc.Bytes)/(1<<20), rc.Hits, rc.Computed, rc.PropTime.Round(1e6))
-	return nil
+	return mr, nil
 }
 
 func printMetro(w *metascritic.World, res *metascritic.Result) {

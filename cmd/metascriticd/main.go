@@ -1,0 +1,193 @@
+// Command metascriticd is the long-lived serving daemon: it boots a
+// world (cold, or warm from a -load snapshot), serves the versioned
+// HTTP/JSON API from internal/api, schedules asynchronous runs, and
+// shuts down gracefully on SIGINT/SIGTERM — draining active runs,
+// letting in-flight requests finish, and optionally persisting the final
+// serving state with -save.
+//
+// Usage:
+//
+//	metascriticd [-addr :8480] [-scale 0.25] [-seed 1] [-budget 20000]
+//	metascriticd -load snap.bin [-save snap.bin]
+//	metascriticd -config daemon.json
+//
+// Flags override -config, which overrides the built-in defaults.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"metascritic"
+	"metascritic/internal/api"
+	"metascritic/internal/api/snapshot"
+	"metascritic/internal/cliflags"
+)
+
+// daemonConfig is every knob the daemon takes, loadable from -config
+// JSON (strict: unknown keys are rejected) and overridable by flags.
+type daemonConfig struct {
+	cliflags.Pipeline
+	cliflags.Engine
+	// Addr is the listen address.
+	Addr string `json:"addr"`
+	// MaxRunBudget caps the budget a POST /v1/runs may request (0 = no cap).
+	MaxRunBudget int `json:"max_run_budget"`
+	// RateLimit is requests/second/client; 0 disables limiting.
+	RateLimit float64 `json:"rate_limit"`
+	// RateBurst is the per-client burst size.
+	RateBurst float64 `json:"rate_burst"`
+	// DrainSeconds bounds the shutdown drain of active runs and requests.
+	DrainSeconds int `json:"drain_seconds"`
+}
+
+func defaults() daemonConfig {
+	return daemonConfig{
+		Pipeline:     cliflags.DefaultPipeline(),
+		Engine:       cliflags.DefaultEngine(),
+		Addr:         ":8480",
+		MaxRunBudget: 200000,
+		RateBurst:    20,
+		DrainSeconds: 30,
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "metascriticd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := defaults()
+	// -config must apply before flag registration so that explicitly
+	// passed flags win over the file: pre-scan the arguments for it.
+	if path := configPath(os.Args[1:]); path != "" {
+		if err := cliflags.LoadJSON(path, &cfg); err != nil {
+			return err
+		}
+	}
+	flag.String("config", "", "JSON config file (flags override it)")
+	loadPath := flag.String("load", "", "boot warm from this snapshot file")
+	savePath := flag.String("save", "", "persist the serving state to this snapshot file on shutdown")
+	flag.StringVar(&cfg.Addr, "addr", cfg.Addr, "listen address")
+	flag.IntVar(&cfg.MaxRunBudget, "max-run-budget", cfg.MaxRunBudget, "largest budget a submitted run may request (0 = unlimited)")
+	flag.Float64Var(&cfg.RateLimit, "rate-limit", cfg.RateLimit, "per-client requests/second (0 disables)")
+	flag.Float64Var(&cfg.RateBurst, "rate-burst", cfg.RateBurst, "per-client burst size")
+	flag.IntVar(&cfg.DrainSeconds, "drain", cfg.DrainSeconds, "seconds to wait for active runs and requests on shutdown")
+	cfg.Pipeline.Register(flag.CommandLine)
+	cfg.Engine.Register(flag.CommandLine)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, cfg, *loadPath, *savePath, nil)
+}
+
+// configPath extracts the -config value from raw arguments, before the
+// flag package has seen them.
+func configPath(args []string) string {
+	for i, a := range args {
+		for _, name := range []string{"-config", "--config"} {
+			if a == name && i+1 < len(args) {
+				return args[i+1]
+			}
+			if strings.HasPrefix(a, name+"=") {
+				return strings.TrimPrefix(a, name+"=")
+			}
+		}
+	}
+	return ""
+}
+
+// serve boots the serving state, listens until ctx is canceled, then
+// drains and (optionally) persists. When ready is non-nil the bound
+// listen address is sent on it once the server accepts connections —
+// tests listen on 127.0.0.1:0 and need the picked port.
+func serve(ctx context.Context, cfg daemonConfig, loadPath, savePath string, ready chan<- string) error {
+	var (
+		p        *metascritic.Pipeline
+		results  map[int]*metascritic.Result
+		worldCfg metascritic.WorldConfig
+	)
+	if loadPath != "" {
+		art, err := snapshot.Load(loadPath)
+		if err != nil {
+			return fmt.Errorf("load %s: %w", loadPath, err)
+		}
+		p, results, err = snapshot.Restore(art)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", loadPath, err)
+		}
+		worldCfg = art.World
+		log.Printf("booted warm from %s: %d ASes, %d served metros", loadPath, p.World.G.N(), len(results))
+	} else {
+		worldCfg = cfg.Pipeline.Config()
+		var w *metascritic.World
+		var n int
+		w, p, n = cfg.Pipeline.Build()
+		log.Printf("booted cold: %d ASes, %d metros, %d public traceroutes seeded", w.G.N(), len(w.G.Metros), n)
+	}
+
+	base := metascritic.DefaultConfig()
+	cfg.Engine.Apply(&base, cfg.Seed)
+	srv := api.NewServer(p, results, api.Options{
+		WorldCfg:     worldCfg,
+		Base:         base,
+		MaxRunBudget: cfg.MaxRunBudget,
+		RateLimit:    cfg.RateLimit,
+		RateBurst:    cfg.RateBurst,
+	})
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	log.Printf("serving on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: drain active runs first (their commits land in
+	// the final state and clients can still poll status), then stop the
+	// HTTP server, then persist.
+	log.Printf("shutting down: draining runs (up to %ds)", cfg.DrainSeconds)
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Duration(cfg.DrainSeconds)*time.Second)
+	defer cancel()
+	drainErr := srv.Runs().Shutdown(drainCtx)
+	if err := hs.Shutdown(drainCtx); err != nil {
+		hs.Close()
+	}
+	if !errors.Is(<-errc, http.ErrServerClosed) {
+		log.Printf("listener exited abnormally")
+	}
+
+	if savePath != "" {
+		st := srv.State()
+		if err := snapshot.Save(savePath, snapshot.Capture(st.WorldCfg, st.Pipe, st.Results)); err != nil {
+			return fmt.Errorf("save %s: %w", savePath, err)
+		}
+		log.Printf("serving state (seq %d, %d metros) saved to %s", st.Seq, len(st.Results), savePath)
+	}
+	return drainErr
+}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"metascritic/internal/cliflags"
+)
+
+func testConfig() daemonConfig {
+	cfg := defaults()
+	cfg.Pipeline = cliflags.Pipeline{World: cliflags.World{Scale: 0.1, Seed: 7}, Public: 4}
+	cfg.Engine.Budget = 300
+	cfg.Engine.Workers = 2
+	cfg.Addr = "127.0.0.1:0"
+	cfg.DrainSeconds = 60
+	return cfg
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if v != nil {
+		if err := json.Unmarshal(body, v); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServeGracefulShutdown is the ISSUE's no-goroutine-leak cancel
+// test: boot the daemon, commit one run, cancel the serve context, and
+// require (a) a clean exit, (b) goroutines back to the pre-serve count,
+// and (c) a -save snapshot that boots a second daemon warm.
+func TestServeGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a world and runs a metro")
+	}
+	snapPath := filepath.Join(t.TempDir(), "state.snap")
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- serve(ctx, testConfig(), "", snapPath, ready) }()
+	addr := <-ready
+	base := "http://" + addr
+
+	if code := getJSON(t, base+"/healthz", nil); code != 200 {
+		t.Fatalf("healthz: %d", code)
+	}
+
+	// Submit a run and wait for its commit so the snapshot has a result.
+	resp, err := http.Post(base+"/v1/runs", "application/json",
+		strings.NewReader(`{"metros": ["Sydney"], "budget": 250}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted map[string]string
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	json.Unmarshal(body, &accepted)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st map[string]any
+		getJSON(t, base+"/v1/runs/"+accepted["id"], &st)
+		if st["state"] == "done" {
+			break
+		}
+		if st["state"] == "failed" || st["state"] == "canceled" {
+			t.Fatalf("run ended %v", st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run never finished: %v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code := getJSON(t, base+"/v1/consistency/Sydney", nil); code != 200 {
+		t.Fatalf("Sydney not served after commit: %d", code)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("serve did not return after cancel")
+	}
+
+	// No goroutine leaks: the serve loop, the run manager, and the HTTP
+	// server must all be gone (allow slack for test/runtime goroutines).
+	http.DefaultClient.CloseIdleConnections()
+	leakDeadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		} else if time.Now().After(leakDeadline) {
+			t.Fatalf("goroutines leaked: %d before serve, %d after shutdown", before, n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The -save snapshot boots a second daemon warm, still serving the
+	// committed metro.
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatalf("snapshot not persisted: %v", err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	ready2 := make(chan string, 1)
+	errc2 := make(chan error, 1)
+	go func() { errc2 <- serve(ctx2, testConfig(), snapPath, "", ready2) }()
+	addr2 := <-ready2
+	var stats map[string]any
+	if code := getJSON(t, "http://"+addr2+"/admin/stats", &stats); code != 200 {
+		t.Fatalf("warm stats: %d", code)
+	}
+	served, _ := stats["served_metros"].([]any)
+	if len(served) != 1 || served[0] != "Sydney" {
+		t.Fatalf("warm boot lost the committed metro: %v", stats["served_metros"])
+	}
+	if code := getJSON(t, "http://"+addr2+"/v1/consistency/Sydney", nil); code != 200 {
+		t.Fatalf("warm boot does not serve Sydney: %d", code)
+	}
+	cancel2()
+	if err := <-errc2; err != nil {
+		t.Fatalf("warm serve returned %v", err)
+	}
+}
+
+func TestConfigPath(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-config", "a.json"}, "a.json"},
+		{[]string{"--config=b.json", "-addr", ":1"}, "b.json"},
+		{[]string{"-addr", ":1"}, ""},
+		{[]string{"-config"}, ""},
+	} {
+		if got := configPath(tc.args); got != tc.want {
+			t.Errorf("configPath(%v) = %q, want %q", tc.args, got, tc.want)
+		}
+	}
+}
+
+func TestDaemonConfigJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "daemon.json")
+	doc := `{
+  "addr": "127.0.0.1:9999",
+  "scale": 0.1,
+  "seed": 3,
+  "public": 2,
+  "budget": 500,
+  "workers": 1,
+  "share_priors": false,
+  "max_run_budget": 1000,
+  "rate_limit": 5,
+  "rate_burst": 10,
+  "drain_seconds": 5
+}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := defaults()
+	if err := cliflags.LoadJSON(path, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Addr != "127.0.0.1:9999" || cfg.Scale != 0.1 || cfg.Budget != 500 ||
+		cfg.MaxRunBudget != 1000 || cfg.RateLimit != 5 || cfg.DrainSeconds != 5 {
+		t.Fatalf("config not applied: %+v", cfg)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"adr": ":1"}`), 0o644)
+	if err := cliflags.LoadJSON(bad, &cfg); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+}

@@ -14,8 +14,8 @@ import (
 	"fmt"
 	"os"
 
-	"metascritic"
 	"metascritic/internal/asgraph"
+	"metascritic/internal/cliflags"
 )
 
 type jsonAS struct {
@@ -59,20 +59,17 @@ func main() {
 }
 
 func run() error {
-	scale := flag.Float64("scale", 0.2, "world scale")
-	seed := flag.Int64("seed", 1, "generation seed")
 	truth := flag.Bool("truth", false, "include ground-truth links (large)")
 	out := flag.String("o", "-", "output file ('-' for stdout)")
+	wf := cliflags.World{Scale: 0.2, Seed: 1}
+	wf.Register(flag.CommandLine)
 	flag.Parse()
 
-	w := metascritic.GenerateWorld(metascritic.WorldConfig{
-		Seed:   *seed,
-		Metros: metascritic.DefaultMetros(*scale),
-	})
+	w := wf.Generate()
 	g := w.G
 
 	metroName := func(m int) string { return g.Metros[m].Name }
-	doc := jsonWorld{Seed: *seed}
+	doc := jsonWorld{Seed: wf.Seed}
 	for _, a := range g.ASes {
 		ja := jsonAS{
 			ASN:      a.ASN,

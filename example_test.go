@@ -1,6 +1,7 @@
 package metascritic_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -22,7 +23,10 @@ func Example() {
 	cfg.MaxMeasurements = 400
 	cfg.Rank.MaxRank = 6
 	cfg.Rank.Iterations = 4
-	res := pipe.RunMetro(metro.Index, cfg)
+	res, err := pipe.Run(context.Background(), metro.Index, cfg)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println(res.Rank >= 1)
 	fmt.Println(len(res.LinksAbove(0.9)) <= len(res.LinksAbove(0.3)))
@@ -44,7 +48,10 @@ func ExampleProgressiveTopology() {
 	cfg.MaxMeasurements = 400
 	cfg.Rank.MaxRank = 5
 	cfg.Rank.Iterations = 4
-	res := pipe.RunMetro(world.G.MetroOfName("Osaka").Index, cfg)
+	res, err := pipe.Run(context.Background(), world.G.MetroOfName("Osaka").Index, cfg)
+	if err != nil {
+		panic(err)
+	}
 
 	prog := metascritic.NewProgressiveTopology(res)
 	high := prog.AtConfidence(0.9)

@@ -7,7 +7,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"math"
 	"math/rand"
 	"sort"
@@ -27,7 +29,10 @@ func main() {
 	metro := world.G.MetroOfName("SaoPaulo") // the paper's hardest metro
 	cfg := metascritic.DefaultConfig()
 	cfg.MaxMeasurements = 4000
-	res := pipe.RunMetro(metro.Index, cfg)
+	res, err := pipe.Run(context.Background(), metro.Index, cfg)
+	if err != nil {
+		log.Fatalf("run %s: %v", metro.Name, err)
+	}
 	fmt.Printf("%s: %d members, rank %d, %d targeted traceroutes\n\n",
 		metro.Name, len(res.Members), res.Rank, res.Measurements)
 

@@ -5,7 +5,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"math/rand"
 
 	"metascritic"
@@ -33,7 +35,10 @@ func main() {
 	metro := world.G.MetroOfName("Singapore")
 	cfg := metascritic.DefaultConfig()
 	cfg.MaxMeasurements = 5000
-	res := pipe.RunMetro(metro.Index, cfg)
+	res, err := pipe.Run(context.Background(), metro.Index, cfg)
+	if err != nil {
+		log.Fatalf("run %s: %v", metro.Name, err)
+	}
 
 	fmt.Printf("\n%s: %d member ASes\n", metro.Name, len(res.Members))
 	fmt.Printf("estimated effective rank r = %d\n", res.Rank)

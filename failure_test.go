@@ -22,7 +22,7 @@ func TestPipelineZeroBudget(t *testing.T) {
 	cfg.MaxMeasurements = 0
 	cfg.Rank.MaxRank = 6
 	cfg.Rank.Iterations = 4
-	res := p.RunMetro(w.G.MetroOfName("Tokyo").Index, cfg)
+	res := mustRun(t, p, w.G.MetroOfName("Tokyo").Index, cfg)
 	if res.Measurements != 0 {
 		t.Fatalf("zero budget issued %d measurements", res.Measurements)
 	}
@@ -40,7 +40,7 @@ func TestPipelineNoPublicSeed(t *testing.T) {
 	cfg.BatchSize = 60
 	cfg.Rank.MaxRank = 6
 	cfg.Rank.Iterations = 4
-	res := p.RunMetro(w.G.MetroOfName("Osaka").Index, cfg)
+	res := mustRun(t, p, w.G.MetroOfName("Osaka").Index, cfg)
 	if res.Measurements == 0 {
 		t.Fatalf("expected targeted measurements from a cold start")
 	}
@@ -108,7 +108,7 @@ func TestRunMetroOnEmptyishMetro(t *testing.T) {
 	cfg.BatchSize = 40
 	cfg.Rank.MaxRank = 4
 	cfg.Rank.Iterations = 3
-	res := p.RunMetro(w.G.MetroOfName("Nowhere").Index, cfg)
+	res := mustRun(t, p, w.G.MetroOfName("Nowhere").Index, cfg)
 	if res.Ratings == nil {
 		t.Fatalf("no ratings for empty metro")
 	}

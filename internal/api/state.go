@@ -1,0 +1,141 @@
+package api
+
+// State is the daemon's immutable serving snapshot. Handlers load the
+// current *State through one atomic pointer and then touch nothing
+// mutable: the pipeline handle is a copy-on-write store snapshot nobody
+// writes to, results are frozen, and the routing-consistency reports are
+// precomputed here — obs.Store.ConsistentASes mutates its cache on read,
+// so it must never run on a request path shared between goroutines.
+// Committing a finished run builds a whole new State and swaps the
+// pointer; in-flight requests keep the old snapshot until they return.
+
+import (
+	"sort"
+	"strconv"
+
+	"metascritic"
+	"metascritic/internal/asgraph"
+)
+
+// ConsistencyScope is one scope row of a metro's consistency report.
+type ConsistencyScope struct {
+	Scope string `json:"scope"`
+	// Consistent is the number of member ASes with consistent routing at
+	// this scope; InconsistentASNs lists the members that are not.
+	Consistent       int   `json:"consistent"`
+	InconsistentASNs []int `json:"inconsistent_asns"`
+}
+
+// ConsistencyReport is the precomputed /v1/consistency payload for one
+// metro (Appx. D.5 run at every geographic scope).
+type ConsistencyReport struct {
+	Metro   string             `json:"metro"`
+	Members int                `json:"members"`
+	Scopes  []ConsistencyScope `json:"scopes"`
+}
+
+// State is one immutable serving snapshot.
+type State struct {
+	// Seq increments on every swap; /admin/stats exposes it so clients
+	// can observe commits.
+	Seq int64
+	// WorldCfg regenerates the world (persisted verbatim in snapshots).
+	WorldCfg metascritic.WorldConfig
+	// Pipe owns this state's store snapshot. Never mutated after build.
+	Pipe *metascritic.Pipeline
+	// Results maps metro index to its served result.
+	Results map[int]*metascritic.Result
+
+	metroByName map[string]*asgraph.Metro
+	asnIndex    map[int]int
+	consistency map[int]*ConsistencyReport
+}
+
+var scopeNames = map[asgraph.GeoScope]string{
+	asgraph.SameMetro:     "metro",
+	asgraph.SameCountry:   "country",
+	asgraph.SameContinent: "continent",
+	asgraph.Elsewhere:     "global",
+}
+
+// NewState freezes a serving snapshot: it takes its own copy-on-write
+// handle on the pipeline's store and precomputes everything handlers
+// must not compute per-request. The pipeline's store must not be
+// concurrently mutated during the call (the daemon's base store is only
+// ever mutated before serving starts).
+func NewState(seq int64, worldCfg metascritic.WorldConfig, p *metascritic.Pipeline, results map[int]*metascritic.Result) *State {
+	st := &State{
+		Seq:         seq,
+		WorldCfg:    worldCfg,
+		Pipe:        p.Snapshot(),
+		Results:     results,
+		metroByName: map[string]*asgraph.Metro{},
+		asnIndex:    map[int]int{},
+		consistency: map[int]*ConsistencyReport{},
+	}
+	g := st.Pipe.World.G
+	for i := range g.Metros {
+		st.metroByName[g.Metros[i].Name] = g.Metros[i]
+	}
+	for i := range g.ASes {
+		st.asnIndex[g.ASes[i].ASN] = i
+	}
+	// Precompute consistency per served metro, at every scope. The reads
+	// run on this state's own store clone, so the cache mutations they
+	// cause are invisible to every other state and to the base store.
+	for m := range results {
+		metro := g.Metros[m]
+		rep := &ConsistencyReport{Metro: metro.Name, Members: len(metro.Members)}
+		for sc := asgraph.SameMetro; sc <= asgraph.Elsewhere; sc++ {
+			ok := st.Pipe.Store.ConsistentASes(sc)
+			row := ConsistencyScope{Scope: scopeNames[sc], InconsistentASNs: []int{}}
+			for _, ai := range metro.Members {
+				if ok[ai] {
+					row.Consistent++
+				} else {
+					row.InconsistentASNs = append(row.InconsistentASNs, g.ASes[ai].ASN)
+				}
+			}
+			sort.Ints(row.InconsistentASNs)
+			rep.Scopes = append(rep.Scopes, row)
+		}
+		st.consistency[m] = rep
+	}
+	return st
+}
+
+// Metro resolves a path element to a metro: by name, or by numeric index.
+func (st *State) Metro(name string) *asgraph.Metro {
+	if m := st.metroByName[name]; m != nil {
+		return m
+	}
+	if idx, err := strconv.Atoi(name); err == nil {
+		g := st.Pipe.World.G
+		if idx >= 0 && idx < len(g.Metros) {
+			return g.Metros[idx]
+		}
+	}
+	return nil
+}
+
+// ASIndex resolves an ASN to its graph index.
+func (st *State) ASIndex(asn int) (int, bool) {
+	i, ok := st.asnIndex[asn]
+	return i, ok
+}
+
+// Consistency returns the precomputed report for a metro (nil when the
+// metro has no served result).
+func (st *State) Consistency(metro int) *ConsistencyReport {
+	return st.consistency[metro]
+}
+
+// ServedMetros returns the metro indices with results, ascending.
+func (st *State) ServedMetros() []int {
+	out := make([]int, 0, len(st.Results))
+	for m := range st.Results {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}

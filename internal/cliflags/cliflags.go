@@ -1,0 +1,124 @@
+// Package cliflags holds the flag groups shared by the repo's commands,
+// so every binary spells -scale/-seed/-budget the same way and the
+// daemon can load the identical knobs from a JSON config file.
+//
+// Each group is a plain struct whose field values at Register time are
+// the flag defaults; set fields before Register to change a command's
+// defaults, or fill the struct from JSON first (LoadJSON) and then let
+// explicitly-passed flags override it.
+package cliflags
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+
+	"metascritic"
+)
+
+// World configures synthetic-world generation.
+type World struct {
+	// Scale multiplies the paper-like metro sizes (1.0 ≈ paper scale).
+	Scale float64 `json:"scale"`
+	// Seed drives world generation and the pipeline RNG.
+	Seed int64 `json:"seed"`
+}
+
+// DefaultWorld is the baseline used by the CLIs.
+func DefaultWorld() World { return World{Scale: 0.25, Seed: 1} }
+
+// Register adds the group's flags to fs with the current field values as
+// defaults.
+func (w *World) Register(fs *flag.FlagSet) {
+	fs.Float64Var(&w.Scale, "scale", w.Scale, "world scale (1.0 ≈ paper-like metro sizes)")
+	fs.Int64Var(&w.Seed, "seed", w.Seed, "world and pipeline seed")
+}
+
+// Config returns the generation config for this group.
+func (w World) Config() metascritic.WorldConfig {
+	return metascritic.WorldConfig{Seed: w.Seed, Metros: metascritic.DefaultMetros(w.Scale)}
+}
+
+// Generate builds the world.
+func (w World) Generate() *metascritic.World {
+	return metascritic.GenerateWorld(w.Config())
+}
+
+// Pipeline configures world + public evidence seeding.
+type Pipeline struct {
+	World
+	// Public is the number of public seed traceroutes per probe.
+	Public int `json:"public"`
+}
+
+// DefaultPipeline is the baseline used by the CLIs.
+func DefaultPipeline() Pipeline { return Pipeline{World: DefaultWorld(), Public: 10} }
+
+// Register adds the group's flags to fs.
+func (p *Pipeline) Register(fs *flag.FlagSet) {
+	p.World.Register(fs)
+	fs.IntVar(&p.Public, "public", p.Public, "public seed traceroutes per probe")
+}
+
+// Build generates the world and a pipeline pre-seeded with the public
+// measurements, returning both plus the number of seeded traceroutes.
+func (p Pipeline) Build() (*metascritic.World, *metascritic.Pipeline, int) {
+	w := p.Generate()
+	pipe := metascritic.NewPipeline(w)
+	n := pipe.SeedPublicMeasurements(p.Public, rand.New(rand.NewSource(p.Seed)))
+	return w, pipe, n
+}
+
+// Engine configures run execution.
+type Engine struct {
+	// Budget is the targeted traceroute budget per run.
+	Budget int `json:"budget"`
+	// Workers bounds the engine's worker pool (0 means GOMAXPROCS).
+	Workers int `json:"workers"`
+	// SharePriors streams learned strategy priors between a batch's
+	// metros.
+	SharePriors bool `json:"share_priors"`
+}
+
+// DefaultEngine is the baseline used by the CLIs.
+func DefaultEngine() Engine {
+	return Engine{Budget: 20000, Workers: runtime.GOMAXPROCS(0), SharePriors: true}
+}
+
+// Register adds the group's flags to fs.
+func (e *Engine) Register(fs *flag.FlagSet) {
+	fs.IntVar(&e.Budget, "budget", e.Budget, "targeted traceroute budget")
+	fs.IntVar(&e.Workers, "workers", e.Workers, "engine worker pool size")
+	fs.BoolVar(&e.SharePriors, "share-priors", e.SharePriors, "stream learned strategy priors from finished metros into later ones")
+}
+
+// Apply copies the group onto a pipeline config (the seed comes from the
+// World group so a whole run stays a function of one seed).
+func (e Engine) Apply(cfg *metascritic.Config, seed int64) {
+	cfg.MaxMeasurements = e.Budget
+	cfg.Seed = seed
+}
+
+// LoadJSON fills v (a flag-group struct, or a struct embedding several)
+// from a strict JSON config file: unknown keys are an error, so typos
+// fail loudly instead of silently keeping defaults.
+func LoadJSON(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("config %s: %w", path, err)
+	}
+	// A second document in the file is almost certainly a mistake.
+	if dec.More() {
+		return fmt.Errorf("config %s: trailing data after the JSON object", path)
+	}
+	return nil
+}

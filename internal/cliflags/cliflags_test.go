@@ -1,0 +1,101 @@
+package cliflags
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRegisterUsesFieldValuesAsDefaults(t *testing.T) {
+	p := DefaultPipeline()
+	p.Scale = 0.5
+	p.Public = 3
+	e := DefaultEngine()
+	e.Budget = 123
+
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	p.Register(fs)
+	e.Register(fs)
+	if err := fs.Parse([]string{"-seed", "9", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Scale != 0.5 || p.Public != 3 || e.Budget != 123 {
+		t.Fatalf("defaults clobbered: %+v %+v", p, e)
+	}
+	if p.Seed != 9 || e.Workers != 2 {
+		t.Fatalf("explicit flags not applied: %+v %+v", p, e)
+	}
+}
+
+func TestLoadJSONThenFlagsOverride(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	cfg := `{"scale": 0.1, "seed": 42, "public": 5, "budget": 777, "workers": 3, "share_priors": false}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var v struct {
+		Pipeline
+		Engine
+	}
+	v.Pipeline = DefaultPipeline()
+	v.Engine = DefaultEngine()
+	if err := LoadJSON(path, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Scale != 0.1 || v.Seed != 42 || v.Public != 5 || v.Budget != 777 || v.Workers != 3 || v.SharePriors {
+		t.Fatalf("config not applied: %+v", v)
+	}
+
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	v.Pipeline.Register(fs)
+	v.Engine.Register(fs)
+	if err := fs.Parse([]string{"-budget", "999"}); err != nil {
+		t.Fatal(err)
+	}
+	if v.Budget != 999 || v.Scale != 0.1 {
+		t.Fatalf("flag override wrong: %+v", v)
+	}
+}
+
+func TestLoadJSONStrict(t *testing.T) {
+	dir := t.TempDir()
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"scael": 0.1}`), 0o644)
+	var w World
+	err := LoadJSON(bad, &w)
+	if err == nil || !strings.Contains(err.Error(), "scael") {
+		t.Fatalf("typo not rejected: %v", err)
+	}
+
+	trailing := filepath.Join(dir, "trailing.json")
+	os.WriteFile(trailing, []byte(`{"scale": 0.1} {"seed": 2}`), 0o644)
+	if err := LoadJSON(trailing, &w); err == nil {
+		t.Fatal("trailing document not rejected")
+	}
+
+	if err := LoadJSON(filepath.Join(dir, "missing.json"), &w); err == nil {
+		t.Fatal("missing file not reported")
+	}
+}
+
+func TestBuildIsDeterministic(t *testing.T) {
+	p := Pipeline{World: World{Scale: 0.1, Seed: 4}, Public: 4}
+	w1, pipe1, n1 := p.Build()
+	w2, pipe2, n2 := p.Build()
+	if n1 != n2 || n1 == 0 {
+		t.Fatalf("seeding not deterministic: %d vs %d", n1, n2)
+	}
+	if w1.G.N() != w2.G.N() {
+		t.Fatalf("worlds differ: %d vs %d ASes", w1.G.N(), w2.G.N())
+	}
+	e1 := pipe1.Store.EncodeEvidence()
+	e2 := pipe2.Store.EncodeEvidence()
+	if string(e1) != string(e2) {
+		t.Fatal("seeded evidence differs between identical builds")
+	}
+}

@@ -14,7 +14,7 @@
 // MetroSeed(base,
 // metro), so with SharePriors off a batch's per-metro results are
 // byte-identical to sequential runs — RunAll(ctx, cfg).Results[m] equals
-// p.Snapshot().RunMetroContext(ctx, m, cfgWithSeed) — regardless of
+// p.Snapshot().Run(ctx, m, cfgWithSeed) — regardless of
 // worker count or scheduling order. With SharePriors on, which priors a
 // metro sees depends on completion order, so results may vary between
 // runs (at Workers=1 the scheduling order is fixed and runs are again
@@ -80,7 +80,7 @@ func (m *MultiResult) Result(metro int) *metascritic.Result { return m.Results[m
 // Engine runs metro batches over one pipeline. The zero value is not
 // usable; construct with New. An Engine is safe for concurrent use, and
 // its prior store persists across batches: a second RunAll (or
-// RunMetroContext) starts with everything earlier runs learned.
+// Run) starts with everything earlier runs learned.
 type Engine struct {
 	pipe   *metascritic.Pipeline
 	priors *PriorStore
@@ -100,24 +100,32 @@ func (e *Engine) Priors() *PriorStore { return e.priors }
 // Pipeline returns the underlying pipeline.
 func (e *Engine) Pipeline() *metascritic.Pipeline { return e.pipe }
 
-// RunMetroContext runs a single metro over an isolated snapshot of the
-// pipeline's store, with the engine's seed derivation and prior store
-// applied: pooled priors (if any) seed the run, and the learned rates
-// are published back. cfg.Seed is treated as the base seed, exactly as
-// in RunAll.
-func (e *Engine) RunMetroContext(ctx context.Context, metro int, cfg metascritic.Config) (*metascritic.Result, error) {
+// Run runs a single metro over an isolated snapshot of the pipeline's
+// store, with the engine's seed derivation and prior store applied:
+// pooled priors (if any) seed the run, and the learned rates are
+// published back. cfg.Seed is treated as the base seed, exactly as in
+// RunAll.
+func (e *Engine) Run(ctx context.Context, metro int, cfg metascritic.Config) (*metascritic.Result, error) {
 	if cfg.Priors == nil {
 		if pooled, _ := e.priors.Pooled(); pooled != nil {
 			cfg.Priors = pooled
 		}
 	}
 	cfg.Seed = MetroSeed(cfg.Seed, metro)
-	res, err := e.pipe.Snapshot().RunMetroContext(ctx, metro, cfg)
+	res, err := e.pipe.Snapshot().Run(ctx, metro, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	e.priors.Add(res.StrategyRates)
 	return res, nil
+}
+
+// RunMetroContext runs a single metro through the engine.
+//
+// Deprecated: RunMetroContext is Run under its pre-v1 name, kept for one
+// release. It forwards verbatim.
+func (e *Engine) RunMetroContext(ctx context.Context, metro int, cfg metascritic.Config) (*metascritic.Result, error) {
+	return e.Run(ctx, metro, cfg)
 }
 
 // RunAll executes the configured metros on a worker pool and returns
@@ -225,7 +233,7 @@ func (e *Engine) RunAll(ctx context.Context, cfg Config) (*MultiResult, error) {
 					Worker: worker, Time: time.Now(), UsedPriors: usedPriors,
 				})
 				t0 := time.Now()
-				res, err := e.pipe.Snapshot().RunMetroContext(runCtx, metro, mcfg)
+				res, err := e.pipe.Snapshot().Run(runCtx, metro, mcfg)
 				if err != nil {
 					fail(fmt.Errorf("engine: metro %s (%d): %w", name, metro, err))
 					e.emit(runCtx, cfg.Events, Event{

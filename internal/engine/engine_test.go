@@ -64,7 +64,7 @@ func TestRunAllMatchesSequential(t *testing.T) {
 	for _, m := range metros {
 		scfg := cfg
 		scfg.Seed = MetroSeed(cfg.Seed, m)
-		want, err := p.Snapshot().RunMetroContext(context.Background(), m, scfg)
+		want, err := p.Snapshot().Run(context.Background(), m, scfg)
 		if err != nil {
 			t.Fatalf("sequential metro %d: %v", m, err)
 		}
@@ -294,14 +294,14 @@ func TestEngineRunMetroContextFeedsPriors(t *testing.T) {
 	eng := New(p)
 	ctx := context.Background()
 
-	first, err := eng.RunMetroContext(ctx, metros[0], testConfig(17))
+	first, err := eng.Run(ctx, metros[0], testConfig(17))
 	if err != nil {
 		t.Fatalf("first metro: %v", err)
 	}
 	if eng.Priors().Count() != 1 {
 		t.Fatalf("prior store count = %d after first run", eng.Priors().Count())
 	}
-	second, err := eng.RunMetroContext(ctx, metros[1], testConfig(17))
+	second, err := eng.Run(ctx, metros[1], testConfig(17))
 	if err != nil {
 		t.Fatalf("second metro: %v", err)
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -184,7 +185,12 @@ func AblationHierarchicalPrior(h *Harness) ([]PriorAblationRow, *Table) {
 		cfg.Seed = h.Seed + 401
 		cfg.MaxMeasurements = 2500
 		cfg.Priors = priors
-		res := pipe.RunMetro(target, cfg)
+		res, err := pipe.Run(context.Background(), target, cfg)
+		if err != nil {
+			// Ablation configs derive from the harness defaults; a failure
+			// here is a programming error, matching Harness.Run.
+			panic(fmt.Sprintf("eval: prior ablation %s: %v", name, err))
+		}
 		row := PriorAblationRow{Variant: name}
 		inform := 0
 		for _, c := range res.Calibrations {

@@ -659,7 +659,12 @@ func (h *Harness) publicOnlyResult(metro int) *metascritic.Result {
 	cfg := h.Cfg
 	cfg.MaxMeasurements = 0
 	cfg.Seed = h.Seed + int64(metro) + 500
-	r := pipe.RunMetro(metro, cfg)
+	r, err := pipe.Run(context.Background(), metro, cfg)
+	if err != nil {
+		// Public-only replays reuse the harness config; a failure here is a
+		// programming error, matching Harness.Run.
+		panic(fmt.Sprintf("eval: public-only metro %d: %v", metro, err))
+	}
 	h.pubOnly[metro] = r
 	return r
 }

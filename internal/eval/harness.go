@@ -131,7 +131,7 @@ func (h *Harness) Run(metro int) *metascritic.Result {
 		pooled := poolRates(rates)
 		cfg.Priors = &pooled
 	}
-	r, err := h.P.RunMetroContext(context.Background(), metro, cfg)
+	r, err := h.P.Run(context.Background(), metro, cfg)
 	if err != nil {
 		// The harness API predates error returns and its configs come from
 		// DefaultOptions, so a failure here is a programming error.

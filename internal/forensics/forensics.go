@@ -1,0 +1,185 @@
+// Package forensics implements the paper's §6 application — predicting a
+// prefix hijack's blast radius — as a library shared by cmd/hijackmon and
+// the serving daemon's /v1/hijack endpoint. It builds prediction
+// topologies (public BGP view, optionally extended with metAScritic's
+// measured and inferred links), picks announcement seeds, and scores a
+// predicted catchment against the simulated ground truth.
+package forensics
+
+import (
+	"fmt"
+	"sort"
+
+	"metascritic"
+	"metascritic/internal/asgraph"
+	"metascritic/internal/bgp"
+)
+
+// PublicMesh returns the peering links any public collector sees: the
+// Tier-1 full mesh.
+func PublicMesh(g *asgraph.Graph) []asgraph.Pair {
+	var pub []asgraph.Pair
+	for a := range g.Peers {
+		if g.ASes[a].Class != asgraph.Tier1 {
+			continue
+		}
+		for _, b := range g.Peers[a] {
+			if a < b && g.ASes[b].Class == asgraph.Tier1 {
+				pub = append(pub, asgraph.MakePair(a, b))
+			}
+		}
+	}
+	sort.Slice(pub, func(i, j int) bool {
+		if pub[i].A != pub[j].A {
+			return pub[i].A < pub[j].A
+		}
+		return pub[i].B < pub[j].B
+	})
+	return pub
+}
+
+// PredictionTopology builds a BGP topology from the known c2p hierarchy
+// plus the given peering links, dropping duplicates and pairs already
+// related by transit.
+func PredictionTopology(g *asgraph.Graph, peers []asgraph.Pair) *bgp.Topology {
+	t := bgp.NewTopology(g.N())
+	for c := range g.Providers {
+		for _, p := range g.Providers[c] {
+			t.AddC2P(c, p)
+		}
+	}
+	added := map[asgraph.Pair]bool{}
+	for _, pr := range peers {
+		if added[pr] || g.HasProvider(pr.A, pr.B) || g.HasProvider(pr.B, pr.A) {
+			continue
+		}
+		added[pr] = true
+		t.AddP2P(pr.A, pr.B)
+	}
+	return t
+}
+
+// MeasuredLinks returns the peering links a result supports at confidence
+// thr (measured links plus inferred links rated above the threshold).
+func MeasuredLinks(res *metascritic.Result, thr float64) []asgraph.Pair {
+	prog := metascritic.NewProgressiveTopology(res)
+	links := prog.AtConfidence(thr)
+	out := make([]asgraph.Pair, len(links))
+	for i, l := range links {
+		out[i] = l.Pair
+	}
+	return out
+}
+
+// Seeds picks announcement origins at a metro: up to max transit-ish
+// members (the ASes whose announcements actually propagate).
+func Seeds(g *asgraph.Graph, metro *asgraph.Metro, max int) []int {
+	var out []int
+	for _, ai := range metro.Members {
+		c := g.ASes[ai].Class
+		if (c == asgraph.Transit || c == asgraph.LargeISP) && len(out) < max {
+			out = append(out, ai)
+		}
+	}
+	return out
+}
+
+// Outcome compares a predicted catchment against the ground truth.
+type Outcome struct {
+	// Accuracy is the fraction of ASes whose hijacked/clean verdict the
+	// prediction got right (predicting both routes counts as right when
+	// the AS is actually hijacked).
+	Accuracy float64 `json:"accuracy"`
+	// PredictedHijacked is the number of ASes the prediction routes to
+	// the attacker.
+	PredictedHijacked int `json:"predicted_hijacked"`
+}
+
+// Score runs the hijack on the prediction topology and scores it against
+// the actual catchment flags (from the ground-truth topology's
+// SimulateHijack).
+func Score(t *bgp.Topology, actual []uint8, victims, attackers []int) Outcome {
+	pred := t.SimulateHijack(victims, attackers)
+	good, hijacked := 0, 0
+	for as := range actual {
+		actHij := actual[as]&bgp.FlagAttacker != 0
+		predHij := pred[as]&bgp.FlagAttacker != 0
+		predLegit := pred[as]&bgp.FlagVictim != 0
+		if predHij == actHij || (predHij && predLegit) {
+			good++
+		}
+		if predHij {
+			hijacked++
+		}
+	}
+	return Outcome{Accuracy: float64(good) / float64(len(actual)), PredictedHijacked: hijacked}
+}
+
+// Report is a full hijack forensics comparison: ground truth vs. the
+// public-view prediction vs. the metAScritic-extended prediction.
+type Report struct {
+	VictimMetro    string  `json:"victim_metro"`
+	AttackerMetro  string  `json:"attacker_metro"`
+	VictimASNs     []int   `json:"victim_asns"`
+	AttackerASNs   []int   `json:"attacker_asns"`
+	Threshold      float64 `json:"threshold"`
+	ActualHijacked int     `json:"actual_hijacked"`
+	TotalASes      int     `json:"total_ases"`
+	Public         Outcome `json:"public"`
+	Extended       Outcome `json:"extended"`
+	// ExtraLinks is the number of metAScritic links added on top of the
+	// public mesh for the extended prediction.
+	ExtraLinks int `json:"extra_links"`
+}
+
+// Analyze runs the full §6 comparison for a victim/attacker metro pair,
+// extending the public topology with every provided result's links at
+// confidence thr. results may cover any subset of metros (typically the
+// victim's and the attacker's).
+func Analyze(w *metascritic.World, victim, attacker *asgraph.Metro, results []*metascritic.Result, thr float64) (*Report, error) {
+	g := w.G
+	vict := Seeds(g, victim, 2)
+	att := Seeds(g, attacker, 2)
+	if len(vict) == 0 || len(att) == 0 {
+		return nil, fmt.Errorf("forensics: no transit seeds at metro %s or %s", victim.Name, attacker.Name)
+	}
+
+	truth := bgp.FromGraph(g)
+	actual := truth.SimulateHijack(vict, att)
+	actualHijacked := 0
+	for _, f := range actual {
+		if f&bgp.FlagAttacker != 0 {
+			actualHijacked++
+		}
+	}
+
+	pub := PublicMesh(g)
+	ext := append([]asgraph.Pair(nil), pub...)
+	for _, res := range results {
+		if res != nil {
+			ext = append(ext, MeasuredLinks(res, thr)...)
+		}
+	}
+
+	rep := &Report{
+		VictimMetro:    victim.Name,
+		AttackerMetro:  attacker.Name,
+		VictimASNs:     asns(g, vict),
+		AttackerASNs:   asns(g, att),
+		Threshold:      thr,
+		ActualHijacked: actualHijacked,
+		TotalASes:      g.N(),
+		Public:         Score(PredictionTopology(g, pub), actual, vict, att),
+		Extended:       Score(PredictionTopology(g, ext), actual, vict, att),
+		ExtraLinks:     len(ext) - len(pub),
+	}
+	return rep, nil
+}
+
+func asns(g *asgraph.Graph, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, x := range idx {
+		out[i] = g.ASes[x].ASN
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package forensics
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"metascritic"
+	"metascritic/internal/bgp"
+)
+
+func TestAnalyze(t *testing.T) {
+	w := metascritic.GenerateWorld(metascritic.WorldConfig{
+		Seed:   5,
+		Metros: metascritic.DefaultMetros(0.1),
+	})
+	g := w.G
+	vm, am := g.MetroOfName("Sydney"), g.MetroOfName("Tokyo")
+	if vm == nil || am == nil {
+		t.Fatalf("default metros missing Sydney/Tokyo")
+	}
+	p := metascritic.NewPipeline(w)
+	p.SeedPublicMeasurements(8, rand.New(rand.NewSource(5)))
+	cfg := metascritic.DefaultConfig()
+	cfg.MaxMeasurements = 800
+	cfg.BatchSize = 60
+	cfg.Rank.MaxRank = 6
+	cfg.Rank.Iterations = 3
+	res, err := p.Snapshot().Run(context.Background(), vm.Index, cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	rep, err := Analyze(w, vm, am, []*metascritic.Result{res}, 0.5)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if rep.TotalASes != g.N() || rep.ActualHijacked <= 0 || rep.ActualHijacked >= g.N() {
+		t.Fatalf("implausible ground truth: %+v", rep)
+	}
+	for _, o := range []Outcome{rep.Public, rep.Extended} {
+		if o.Accuracy < 0 || o.Accuracy > 1 {
+			t.Fatalf("accuracy out of range: %+v", rep)
+		}
+	}
+	if rep.ExtraLinks <= 0 {
+		t.Fatalf("the result contributed no links beyond the public mesh: %+v", rep)
+	}
+	if rep.Extended.Accuracy < rep.Public.Accuracy-0.1 {
+		t.Fatalf("extended topology markedly worse than public view: %+v", rep)
+	}
+
+	// Determinism: same inputs, same report.
+	rep2, err := Analyze(w, vm, am, []*metascritic.Result{res}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Fatalf("Analyze is not deterministic")
+	}
+}
+
+func TestPredictionTopologySkipsTransitPairs(t *testing.T) {
+	w := metascritic.GenerateWorld(metascritic.WorldConfig{
+		Seed:   6,
+		Metros: metascritic.DefaultMetros(0.1),
+	})
+	g := w.G
+	pub := PublicMesh(g)
+	if len(pub) == 0 {
+		t.Fatalf("no Tier-1 mesh in the public view")
+	}
+	topo := PredictionTopology(g, pub)
+	if topo == nil {
+		t.Fatal("nil topology")
+	}
+	// The topology must carry a usable routing state: a hijack from any
+	// seed reaches someone.
+	vm := g.MetroOfName("Sydney")
+	seeds := Seeds(g, vm, 2)
+	if len(seeds) == 0 {
+		t.Fatalf("no seeds at Sydney")
+	}
+	flags := topo.SimulateHijack(seeds, seeds[:1])
+	reached := 0
+	for _, f := range flags {
+		if f&(bgp.FlagVictim|bgp.FlagAttacker) != 0 {
+			reached++
+		}
+	}
+	if reached == 0 {
+		t.Fatalf("hijack simulation reached nobody")
+	}
+}

@@ -1,0 +1,379 @@
+package obs
+
+// Binary evidence codec. EncodeEvidence serializes everything a Store has
+// learned (the append-only evidence records, derived indices and logs) into
+// a self-delimiting byte string; DecodeEvidence rebuilds an equivalent
+// store over the same graph. The encoding is deterministic — map sections
+// are emitted in sorted key order — so two equivalent stores encode to
+// identical bytes and re-encoding a decoded store is byte-stable. The
+// serving daemon's snapshot artifact (internal/api/snapshot) embeds this
+// payload; framing, versioning and checksums live there, not here.
+//
+// The per-scope consistency cache is deliberately not encoded: it mutates
+// on read and is rebuilt from minConflict on demand.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"metascritic/internal/asgraph"
+	"metascritic/internal/ipmap"
+)
+
+// ErrBadEvidence is wrapped by every DecodeEvidence failure: truncated
+// input, counts that exceed the remaining bytes, unsorted keys, or values
+// outside their domain.
+var ErrBadEvidence = errors.New("obs: malformed evidence")
+
+// EncodeEvidence serializes the store's full evidence state.
+func (s *Store) EncodeEvidence() []byte {
+	var b []byte
+	u := func(v int) { b = binary.AppendUvarint(b, uint64(v)) }
+	pair := func(p asgraph.Pair) { u(p.A); u(p.B) }
+
+	// direct: sorted pairs, each with its (already sorted) metro list.
+	dk := sortedPairs(s.direct)
+	u(len(dk))
+	for _, p := range dk {
+		pair(p)
+		row := s.direct[p]
+		u(len(row))
+		for _, m := range row {
+			u(int(m))
+		}
+	}
+
+	// transit: sorted pairs, observations in arrival order.
+	tk := sortedPairs(s.transit)
+	u(len(tk))
+	for _, p := range tk {
+		pair(p)
+		row := s.transit[p]
+		u(len(row))
+		for _, to := range row {
+			u(to.metro)
+			u(to.near)
+			u(to.probe.as)
+			u(to.probe.metro)
+		}
+	}
+
+	// probeSeen: sorted coverage facts (the value is always true).
+	sk := make([]seenKey, 0, len(s.probeSeen))
+	for k := range s.probeSeen {
+		sk = append(sk, k)
+	}
+	sortSeenKeys(sk)
+	u(len(sk))
+	for _, k := range sk {
+		u(k.vpAS)
+		u(k.vpMetro)
+		u(k.as)
+		u(k.metro)
+	}
+
+	// probeTraces: sorted probes with their trace counts.
+	pk := make([]probeKey, 0, len(s.probeTraces))
+	for k := range s.probeTraces {
+		pk = append(pk, k)
+	}
+	sort.Slice(pk, func(i, j int) bool {
+		if pk[i].as != pk[j].as {
+			return pk[i].as < pk[j].as
+		}
+		return pk[i].metro < pk[j].metro
+	})
+	u(len(pk))
+	for _, k := range pk {
+		u(k.as)
+		u(k.metro)
+		u(s.probeTraces[k])
+	}
+
+	// gate: sorted keys, parked pairs in arrival order (order feeds the
+	// dirty log when a gate opens, so it is state, not presentation).
+	gk := make([]seenKey, 0, len(s.gate))
+	for k := range s.gate {
+		gk = append(gk, k)
+	}
+	sortSeenKeys(gk)
+	u(len(gk))
+	for _, k := range gk {
+		u(k.vpAS)
+		u(k.vpMetro)
+		u(k.as)
+		u(k.metro)
+		row := s.gate[k]
+		u(len(row))
+		for _, p := range row {
+			pair(p)
+		}
+	}
+
+	// minConflict: sorted pairs with their tightest contradiction scope.
+	ck := sortedPairs(s.minConflict)
+	u(len(ck))
+	for _, p := range ck {
+		pair(p)
+		u(int(s.minConflict[p]))
+	}
+
+	// Evidence logs, in order (estimate watermarks index into them).
+	u(len(s.dirty))
+	for _, p := range s.dirty {
+		pair(p)
+	}
+	u(len(s.conflicts))
+	for _, sc := range s.conflicts {
+		u(int(sc))
+	}
+	return b
+}
+
+// DecodeEvidence rebuilds a store from EncodeEvidence output over the
+// given graph and hop resolver. Errors wrap ErrBadEvidence.
+func DecodeEvidence(g *asgraph.Graph, resolve func(ipmap.Addr) (ipmap.Info, bool), data []byte) (*Store, error) {
+	s := NewStore(g, resolve)
+	if err := s.LoadEvidence(data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadEvidence fills this (empty) store from EncodeEvidence output. It is
+// the restore path for callers that already hold a correctly-wired store —
+// e.g. a fresh pipeline's, whose hop resolver is not reachable from
+// outside the package. Errors wrap ErrBadEvidence.
+func (s *Store) LoadEvidence(data []byte) error {
+	if len(s.direct) != 0 || len(s.transit) != 0 || len(s.probeTraces) != 0 || len(s.dirty) != 0 {
+		return fmt.Errorf("%w: LoadEvidence target store is not empty", ErrBadEvidence)
+	}
+	d := &evidenceDecoder{data: data}
+
+	n := d.count("direct pairs")
+	var prev asgraph.Pair
+	for i := 0; i < n && d.err == nil; i++ {
+		p := d.pair("direct", i, &prev)
+		m := d.count("direct metros")
+		row := make([]int32, m)
+		for j := 0; j < m && d.err == nil; j++ {
+			row[j] = int32(d.uint("direct metro"))
+			if d.err == nil && j > 0 && row[j] <= row[j-1] {
+				d.fail("direct metros for pair %v not strictly sorted", p)
+			}
+		}
+		s.direct[p] = row
+	}
+
+	n = d.count("transit pairs")
+	prev = asgraph.Pair{}
+	for i := 0; i < n && d.err == nil; i++ {
+		p := d.pair("transit", i, &prev)
+		m := d.count("transit observations")
+		row := make([]transitObs, m)
+		for j := 0; j < m && d.err == nil; j++ {
+			row[j] = transitObs{
+				metro: d.uint("transit metro"),
+				near:  d.uint("transit near"),
+				probe: probeKey{d.uint("transit probe AS"), d.uint("transit probe metro")},
+			}
+		}
+		s.transit[p] = row
+	}
+
+	n = d.count("probe coverage facts")
+	var prevSeen seenKey
+	for i := 0; i < n && d.err == nil; i++ {
+		k := d.seenKey("coverage", i, &prevSeen)
+		s.probeSeen[k] = true
+	}
+
+	n = d.count("probes")
+	prevProbe := probeKey{-1, -1}
+	for i := 0; i < n && d.err == nil; i++ {
+		k := probeKey{d.uint("probe AS"), d.uint("probe metro")}
+		if d.err == nil && i > 0 && !probeLess(prevProbe, k) {
+			d.fail("probes not strictly sorted at %d", i)
+		}
+		prevProbe = k
+		c := d.uint("probe trace count")
+		if d.err == nil && c == 0 {
+			d.fail("probe %v has zero trace count", k)
+		}
+		s.probeTraces[k] = c
+	}
+
+	n = d.count("gates")
+	prevSeen = seenKey{}
+	for i := 0; i < n && d.err == nil; i++ {
+		k := d.seenKey("gate", i, &prevSeen)
+		m := d.count("gated pairs")
+		if d.err == nil && m == 0 {
+			d.fail("gate %v parks no pairs", k)
+		}
+		row := make([]asgraph.Pair, m)
+		for j := 0; j < m && d.err == nil; j++ {
+			row[j] = d.rawPair("gated pair")
+		}
+		s.gate[k] = row
+	}
+
+	n = d.count("conflict pairs")
+	prev = asgraph.Pair{}
+	for i := 0; i < n && d.err == nil; i++ {
+		p := d.pair("conflict", i, &prev)
+		sc := d.uint("conflict scope")
+		if d.err == nil && sc >= int(asgraph.NumGeoScopes) {
+			d.fail("conflict scope %d out of range", sc)
+		}
+		s.minConflict[p] = asgraph.GeoScope(sc)
+	}
+
+	n = d.count("dirty log entries")
+	s.dirty = make([]asgraph.Pair, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		s.dirty = append(s.dirty, d.rawPair("dirty pair"))
+	}
+	n = d.count("conflict log entries")
+	s.conflicts = make([]asgraph.GeoScope, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		sc := d.uint("conflict log scope")
+		if d.err == nil && sc >= int(asgraph.NumGeoScopes) {
+			d.fail("conflict log scope %d out of range", sc)
+		}
+		s.conflicts = append(s.conflicts, asgraph.GeoScope(sc))
+	}
+
+	if d.err == nil && len(d.data) > 0 {
+		d.fail("%d trailing bytes", len(d.data))
+	}
+	return d.err
+}
+
+// evidenceDecoder consumes uvarints with sticky error handling.
+type evidenceDecoder struct {
+	data []byte
+	err  error
+}
+
+func (d *evidenceDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrBadEvidence, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *evidenceDecoder) uint(what string) int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data)
+	if n <= 0 {
+		d.fail("truncated %s", what)
+		return 0
+	}
+	if n > 1 && d.data[n-1] == 0 {
+		// Reject padded encodings so canonical form is the only accepted
+		// form (decode→encode is then a fixed point on accepted input).
+		d.fail("non-minimal varint for %s", what)
+		return 0
+	}
+	if v > uint64(int(^uint(0)>>1)) {
+		d.fail("%s overflows int", what)
+		return 0
+	}
+	d.data = d.data[n:]
+	return int(v)
+}
+
+// count reads a collection length, rejecting counts that could not fit in
+// the remaining input (every element costs at least one byte) before any
+// allocation happens.
+func (d *evidenceDecoder) count(what string) int {
+	n := d.uint(what + " count")
+	if d.err == nil && n > len(d.data) {
+		d.fail("%s count %d exceeds remaining input", what, n)
+		return 0
+	}
+	return n
+}
+
+// pair reads a canonical sorted-section pair: A ≤ B, strictly increasing
+// across the section.
+func (d *evidenceDecoder) pair(section string, i int, prev *asgraph.Pair) asgraph.Pair {
+	p := d.rawPair(section + " pair")
+	if d.err != nil {
+		return p
+	}
+	if p.A > p.B {
+		d.fail("%s pair %v not canonical", section, p)
+		return p
+	}
+	if i > 0 && !pairLess(*prev, p) {
+		d.fail("%s pairs not strictly sorted at %d", section, i)
+		return p
+	}
+	*prev = p
+	return p
+}
+
+// rawPair reads a pair with no ordering constraint (log sections).
+func (d *evidenceDecoder) rawPair(what string) asgraph.Pair {
+	return asgraph.Pair{A: d.uint(what + " A"), B: d.uint(what + " B")}
+}
+
+func (d *evidenceDecoder) seenKey(section string, i int, prev *seenKey) seenKey {
+	k := seenKey{
+		vpAS:    d.uint(section + " vpAS"),
+		vpMetro: d.uint(section + " vpMetro"),
+		as:      d.uint(section + " as"),
+		metro:   d.uint(section + " metro"),
+	}
+	if d.err == nil && i > 0 && !seenLess(*prev, k) {
+		d.fail("%s keys not strictly sorted at %d", section, i)
+		return k
+	}
+	*prev = k
+	return k
+}
+
+func sortedPairs[V any](m map[asgraph.Pair]V) []asgraph.Pair {
+	ps := make([]asgraph.Pair, 0, len(m))
+	for p := range m {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return pairLess(ps[i], ps[j]) })
+	return ps
+}
+
+func pairLess(a, b asgraph.Pair) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}
+
+func probeLess(a, b probeKey) bool {
+	if a.as != b.as {
+		return a.as < b.as
+	}
+	return a.metro < b.metro
+}
+
+func sortSeenKeys(ks []seenKey) {
+	sort.Slice(ks, func(i, j int) bool { return seenLess(ks[i], ks[j]) })
+}
+
+func seenLess(a, b seenKey) bool {
+	if a.vpAS != b.vpAS {
+		return a.vpAS < b.vpAS
+	}
+	if a.vpMetro != b.vpMetro {
+		return a.vpMetro < b.vpMetro
+	}
+	if a.as != b.as {
+		return a.as < b.as
+	}
+	return a.metro < b.metro
+}

@@ -1,0 +1,143 @@
+package obs
+
+// Evidence codec tests: round-trip fidelity (a decoded store behaves
+// identically, including gate state and estimate watermark logs),
+// deterministic byte-stable encoding, typed rejection of truncated or
+// corrupted input, and a fuzz harness for the decode→encode fixed point.
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"metascritic/internal/asgraph"
+)
+
+// populatedStore drives n random traces through a fresh store.
+func populatedStore(seed int64, n int) *Store {
+	s := NewStore(testGraph(), fakeResolve)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		s.AddTrace(randTrace(rng))
+	}
+	return s
+}
+
+func TestEvidenceCodecRoundTrip(t *testing.T) {
+	members := []int{0, 1, 2, 3, 4, 5}
+	for seed := int64(1); seed <= 6; seed++ {
+		s := populatedStore(seed, 60)
+		enc := s.EncodeEvidence()
+		dec, err := DecodeEvidence(testGraph(), fakeResolve, enc)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if !bytes.Equal(dec.EncodeEvidence(), enc) {
+			t.Fatalf("seed %d: re-encoding the decoded store is not byte-identical", seed)
+		}
+		for _, pol := range allPolicies {
+			for m := 0; m < 4; m++ {
+				requireSameEstimate(t, "decoded estimate",
+					dec.Estimate(m, members, pol), s.Estimate(m, members, pol))
+			}
+		}
+		// The gate index must survive: feeding both stores the same
+		// follow-up traces (which can open parked gates) must keep them
+		// equivalent.
+		rng := rand.New(rand.NewSource(seed + 1000))
+		for i := 0; i < 40; i++ {
+			tr := randTrace(rng)
+			s.AddTrace(tr)
+			dec.AddTrace(tr)
+		}
+		if !bytes.Equal(dec.EncodeEvidence(), s.EncodeEvidence()) {
+			t.Fatalf("seed %d: stores diverged after post-decode traces", seed)
+		}
+		for _, sc := range []asgraph.GeoScope{asgraph.SameMetro, asgraph.Elsewhere} {
+			a, b := s.ConsistentASes(sc), dec.ConsistentASes(sc)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("seed %d: ConsistentASes(%v) diverged at AS %d", seed, sc, i)
+				}
+			}
+		}
+	}
+}
+
+func TestEvidenceCodecDeterministic(t *testing.T) {
+	s := populatedStore(42, 80)
+	a, b := s.EncodeEvidence(), s.EncodeEvidence()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two encodings of one store differ")
+	}
+	// A copy-on-write clone shares (then re-hashes) the same maps; its
+	// encoding must still be identical.
+	if !bytes.Equal(s.Clone().EncodeEvidence(), a) {
+		t.Fatalf("clone encodes differently from its base")
+	}
+	if empty := NewStore(testGraph(), fakeResolve).EncodeEvidence(); len(empty) != 8 {
+		t.Fatalf("empty store should encode to 8 zero counts, got %d bytes", len(empty))
+	}
+}
+
+func TestDecodeEvidenceRejectsTruncation(t *testing.T) {
+	enc := populatedStore(7, 50).EncodeEvidence()
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeEvidence(testGraph(), fakeResolve, enc[:n]); !errors.Is(err, ErrBadEvidence) {
+			t.Fatalf("truncation to %d/%d bytes: got %v, want ErrBadEvidence", n, len(enc), err)
+		}
+	}
+	// Trailing garbage is rejected too.
+	if _, err := DecodeEvidence(testGraph(), fakeResolve, append(append([]byte{}, enc...), 0x00)); !errors.Is(err, ErrBadEvidence) {
+		t.Fatalf("trailing byte: got %v, want ErrBadEvidence", err)
+	}
+}
+
+func TestDecodeEvidenceRejectsCorruption(t *testing.T) {
+	enc := populatedStore(9, 50).EncodeEvidence()
+	rejected := 0
+	for i := range enc {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte{}, enc...)
+			mut[i] ^= flip
+			dec, err := DecodeEvidence(testGraph(), fakeResolve, mut)
+			if err != nil {
+				if !errors.Is(err, ErrBadEvidence) {
+					t.Fatalf("flip %#x at %d: error %v does not wrap ErrBadEvidence", flip, i, err)
+				}
+				rejected++
+				continue
+			}
+			// A flip the validators cannot catch must at least decode to a
+			// store whose encoding is self-consistent.
+			if !bytes.Equal(dec.EncodeEvidence(), mut) {
+				t.Fatalf("flip %#x at %d: accepted input is not a fixed point", flip, i)
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Fatalf("no corruption was rejected at all")
+	}
+}
+
+// FuzzDecodeEvidence pins two properties on arbitrary input: decode never
+// panics, and any accepted input is a fixed point of decode→encode (the
+// validators enforce canonical form, so acceptance implies stability).
+func FuzzDecodeEvidence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(populatedStore(3, 30).EncodeEvidence())
+	f.Add([]byte{0x01, 0x00, 0x00, 0x01, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeEvidence(testGraph(), fakeResolve, data)
+		if err != nil {
+			if !errors.Is(err, ErrBadEvidence) {
+				t.Fatalf("error %v does not wrap ErrBadEvidence", err)
+			}
+			return
+		}
+		if !bytes.Equal(dec.EncodeEvidence(), data) {
+			t.Fatalf("accepted input is not a decode→encode fixed point")
+		}
+	})
+}

@@ -45,7 +45,7 @@ func TestRunMetroParallelDeterminism(t *testing.T) {
 			for _, workers := range []int{1, 4} {
 				cfg := measureTestConfig()
 				cfg.MeasureWorkers = workers
-				res, err := base.Snapshot().RunMetroContext(context.Background(), metro, cfg)
+				res, err := base.Snapshot().Run(context.Background(), metro, cfg)
 				if err != nil {
 					t.Fatalf("seed %d metro %s workers %d: %v", seed, metroName, workers, err)
 				}
@@ -103,7 +103,7 @@ func TestRunMetroBudgetUnderSpeculation(t *testing.T) {
 	cfg := measureTestConfig()
 	cfg.MaxMeasurements = 37 // far below the bootstrap plan size
 	cfg.MeasureWorkers = 4
-	res, err := p.Snapshot().RunMetroContext(context.Background(), metro, cfg)
+	res, err := p.Snapshot().Run(context.Background(), metro, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestRunMetroParallelCancellation(t *testing.T) {
 	cfg := measureTestConfig()
 	cfg.MeasureWorkers = 4
 
-	before, err := base.Snapshot().RunMetroContext(context.Background(), metro, cfg)
+	before, err := base.Snapshot().Run(context.Background(), metro, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestRunMetroParallelCancellation(t *testing.T) {
 
 	// 40 polls: past the entry checks, inside the bootstrap fan-out.
 	ctx := newCountdownCtx(40)
-	res, err := base.Snapshot().RunMetroContext(ctx, metro, cfg)
+	res, err := base.Snapshot().Run(ctx, metro, cfg)
 	if err == nil {
 		t.Fatalf("expected cancellation error, got result with %d measurements", res.Measurements)
 	}
@@ -198,7 +198,7 @@ func TestRunMetroParallelCancellation(t *testing.T) {
 
 	// Shared state (engine caches) survived intact: a fresh snapshot still
 	// reproduces the original run byte-for-byte.
-	again, err := base.Snapshot().RunMetroContext(context.Background(), metro, cfg)
+	again, err := base.Snapshot().Run(context.Background(), metro, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

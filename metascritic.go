@@ -66,7 +66,13 @@ type Config struct {
 	// to N workers with an ordered commit. The resulting Result is
 	// byte-identical across worker counts.
 	MeasureWorkers int
-	Seed           int64
+	// StrictBudget makes Run fail with ErrBudgetExhausted when
+	// MaxMeasurements runs dry before the bootstrap calibration plan
+	// completes, instead of silently proceeding with partially calibrated
+	// strategy success rates. Off by default: the paper's system degrades
+	// gracefully under tiny budgets, and so do we.
+	StrictBudget bool
+	Seed         int64
 }
 
 // DefaultConfig returns the paper's operating point.
@@ -315,13 +321,13 @@ func (p *Pipeline) Snapshot() *Pipeline {
 
 // RunMetro executes the full metAScritic loop (Fig. 2) on one metro.
 //
-// Deprecated-style compatibility wrapper: it is equivalent to
-// RunMetroContext with a background context, and panics on an invalid
-// Config (the only error a non-cancellable run can produce). New code
-// should call RunMetroContext, which reports errors and honors
+// Deprecated: RunMetro is the pre-context API, kept for one release. It is
+// equivalent to Run with a background context, and panics on the errors a
+// non-cancellable run can produce (an invalid Config or a strict-budget
+// failure). New code should call Run, which reports errors and honors
 // cancellation.
 func (p *Pipeline) RunMetro(metro int, cfg Config) *Result {
-	res, err := p.RunMetroContext(context.Background(), metro, cfg)
+	res, err := p.Run(context.Background(), metro, cfg)
 	if err != nil {
 		panic(fmt.Sprintf("metascritic: RunMetro: %v", err))
 	}
@@ -329,214 +335,13 @@ func (p *Pipeline) RunMetro(metro int, cfg Config) *Result {
 }
 
 // RunMetroContext executes the full metAScritic loop (Fig. 2) on one
-// metro. The config is validated up front; ctx cancellation is checked
-// between measurements and between estimation rounds, so an abort takes
-// effect promptly and returns an error wrapping ctx.Err().
+// metro.
 //
-// Determinism: a run is a pure function of (world, store contents at
-// entry, metro, cfg) — traceroute simulation is hash-based and the only
-// RNG is seeded from cfg.Seed — so equal inputs give byte-identical
-// Results regardless of what other goroutines do to *other* pipelines.
-// cfg.MeasureWorkers is explicitly outside that function: batches of
-// traceroutes are simulated speculatively in parallel but committed in
-// batch order (measure.go), so every field of Result except the Timings
-// telemetry is byte-identical across worker counts.
+// Deprecated: RunMetroContext is Run under its pre-v1 name, kept for one
+// release. It forwards verbatim; see Run for the semantics and the
+// determinism contract.
 func (p *Pipeline) RunMetroContext(ctx context.Context, metro int, cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, fmt.Errorf("metascritic: metro %d: %w", metro, err)
-	}
-	g := p.World.G
-	if metro < 0 || metro >= len(g.Metros) {
-		return nil, fmt.Errorf("metascritic: %w: metro index %d out of range [0,%d)", ErrInvalidConfig, metro, len(g.Metros))
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("metascritic: metro %d: %w", metro, err)
-	}
-	members := g.Metros[metro].Members
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	sel := probe.NewSelector(g, metro, members, p.VPs(), p.Hitlist)
-	boot := cfg.BootstrapPerStrategy
-	if cfg.Priors != nil {
-		sel.InitPriors(*cfg.Priors, cfg.PriorWeight)
-		boot = (boot + 4) / 5 // transferred priors need far fewer samples
-	}
-
-	res := &Result{Metro: metro, Members: members}
-
-	// Working estimate; delta-refreshed in place as measurements land
-	// (obs.Store.Refresh re-derives only the pairs the new traces
-	// touched, byte-identical to a full rebuild).
-	estStart := time.Now()
-	est := p.Store.Estimate(metro, members, cfg.NegPolicy)
-	res.Timings.Estimate += time.Since(estStart)
-	refresh := func() {
-		t0 := time.Now()
-		p.Store.Refresh(est)
-		res.Timings.Estimate += time.Since(t0)
-	}
-	features := BuildFeatures(g, members)
-	budget := cfg.MaxMeasurements
-	workers := measureWorkers(cfg)
-	mstats := &res.Timings.Measure
-	mstats.Workers = workers
-
-	// Bootstrap phase (§3.3.2): calibrate per-strategy success rates with
-	// a few random measurements per strategy before targeted selection.
-	phaseStart := time.Now()
-	if boot > 0 && budget > 0 {
-		plan := sel.BootstrapPlan(boot, 600, rng)
-		p.runPlan(ctx, workers, plan, &budget, mstats, func(m probe.Measurement, findings []obs.Finding) {
-			res.Measurements++
-			res.BootstrapMeasurements++
-			informative := false
-			want := asgraph.MakePair(m.LinkI, m.LinkJ)
-			for _, f := range findings {
-				if f.Pair == want {
-					informative = true
-					break
-				}
-			}
-			sel.Report(m, informative)
-			// Recorded as exploration-like: Fig. 4 calibration excludes
-			// bootstrap probes since they are not P-selected.
-			res.Calibrations = append(res.Calibrations, Calibration{
-				P: m.P, Informative: informative, Exploration: true,
-				VP: m.VP, Target: m.Target, LinkI: m.LinkI, LinkJ: m.LinkJ, Strat: m.Strat,
-			})
-		})
-		refresh()
-	}
-	res.Timings.Bootstrap = time.Since(phaseStart)
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("metascritic: metro %d: bootstrap aborted: %w", metro, err)
-	}
-
-	topUp := func(need []int) int {
-		before := est.Mask.Count()
-		// Translate "additional entries" into absolute per-row targets so
-		// any measurement that fills a needy row counts, regardless of
-		// which entry we were aiming at. Targets are overshot by the
-		// holdout size: the rank loop removes HoldoutPerRow entries per
-		// row when scoring, so rows topped to exactly r would drop back
-		// below it.
-		target := make([]int, len(need))
-		for i := range need {
-			if need[i] > 0 {
-				target[i] = est.Mask.RowCount(i) + need[i] + cfg.Rank.HoldoutPerRow
-			}
-		}
-		stale := 0
-		for round := 0; round < 16 && budget > 0 && ctx.Err() == nil; round++ {
-			cur := make([]int, len(need))
-			remaining := 0
-			for i := range target {
-				if d := target[i] - est.Mask.RowCount(i); d > 0 {
-					cur[i] = d
-					remaining += d
-				}
-			}
-			if remaining == 0 {
-				break
-			}
-			size := cfg.BatchSize
-			if size > budget {
-				size = budget
-			}
-			countBefore := est.Mask.Count()
-			batch := sel.SelectBatch(size, cfg.Epsilon, est.RowFill(), cur, est.Mask.Has, rng)
-			if len(batch) == 0 {
-				break
-			}
-			p.runPlan(ctx, workers, batch, &budget, mstats, func(m probe.Measurement, findings []obs.Finding) {
-				res.Measurements++
-				informative, foundLink, foundNon := false, false, false
-				want := asgraph.MakePair(m.LinkI, m.LinkJ)
-				for _, f := range findings {
-					if f.Pair == want {
-						informative = true
-						if f.Direct {
-							foundLink = true
-						} else {
-							foundNon = true
-						}
-					}
-				}
-				sel.Report(m, informative)
-				res.Calibrations = append(res.Calibrations, Calibration{
-					P: m.P, Informative: informative,
-					FoundLink: foundLink, FoundNon: foundNon,
-					Exploration: m.Exploration,
-					VP:          m.VP, Target: m.Target,
-					LinkI: m.LinkI, LinkJ: m.LinkJ, Strat: m.Strat,
-				})
-			})
-			refresh()
-			if est.Mask.Count() == countBefore {
-				// A whole batch without a single new entry: give the
-				// elusive rows one more chance, then stop (the paper's
-				// "limit of successive traceroutes that fail").
-				stale++
-				if stale >= 2 {
-					break
-				}
-			} else {
-				stale = 0
-			}
-		}
-		return (est.Mask.Count() - before) / 2
-	}
-
-	// Rank estimation with integrated targeted measurement (§3.2 + §3.3).
-	phaseStart = time.Now()
-	rcfg := cfg.Rank
-	rcfg.Seed = cfg.Seed
-	rcfg.Stop = func() bool { return ctx.Err() != nil }
-	rres := rank.Estimate(est.E, est.Mask, features, topUp, rcfg)
-	res.Rank = rres.Rank
-	res.RankHistory = rres.History
-	res.Estimate = est
-	res.StrategyRates = sel.StrategyRates()
-	res.Timings.RankLoop = time.Since(phaseStart)
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("metascritic: metro %d: rank estimation aborted: %w", metro, err)
-	}
-
-	// Final completion at the estimated rank.
-	phaseStart = time.Now()
-	opts := als.Options{
-		Rank:          rres.Rank,
-		Lambda:        rcfg.Lambda,
-		FeatureWeight: rcfg.FeatureWeight,
-		Iterations:    rcfg.Iterations + 5,
-		Seed:          cfg.Seed,
-	}
-	if cfg.Tune {
-		t := als.Tune(est.E, est.Mask, features, rres.Rank, rng)
-		opts.Lambda = t.Lambda
-		opts.FeatureWeight = t.FeatureWeight
-	}
-	res.Lambda = opts.Lambda
-	res.FeatureWeight = opts.FeatureWeight
-	// One completion problem backs both the final ratings and the λ-search
-	// holdout below (the holdout is an overlay, so the problem stays valid).
-	featArg := features
-	if opts.FeatureWeight <= 0 {
-		featArg = nil
-	}
-	prob := als.NewProblem(est.E, est.Mask, featArg)
-	res.Ratings = prob.Complete(opts, nil)
-	res.Timings.Completion = time.Since(phaseStart)
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("metascritic: metro %d: completion aborted: %w", metro, err)
-	}
-
-	// λ search: hold out 20% of observed entries, score the completion on
-	// them, pick the F-maximizing threshold (§3.1).
-	phaseStart = time.Now()
-	res.Threshold = p.pickThreshold(est, prob, opts, rng)
-	res.Timings.Threshold = time.Since(phaseStart)
-	return res, nil
+	return p.Run(ctx, metro, cfg)
 }
 
 // CompleteWith re-runs the hybrid completion with explicit hyperparameters

@@ -58,7 +58,7 @@ func TestRunMetroEndToEnd(t *testing.T) {
 	cfg.Rank.MaxRank = 16
 	cfg.Rank.Iterations = 8
 	cfg.Tune = true
-	res := p.RunMetro(metro, cfg)
+	res := mustRun(t, p, metro, cfg)
 
 	if res.Rank < 1 {
 		t.Fatalf("rank %d", res.Rank)
@@ -127,7 +127,7 @@ func TestRunMetroRespectsNegPolicy(t *testing.T) {
 	cfg.Rank.MaxRank = 6
 	cfg.Rank.Iterations = 4
 	cfg.NegPolicy = obs.NegNone
-	res := p.RunMetro(metro, cfg)
+	res := mustRun(t, p, metro, cfg)
 	for i := 0; i < len(res.Members); i++ {
 		for j := i + 1; j < len(res.Members); j++ {
 			if v, ok := res.Estimate.Value(res.Members[i], res.Members[j]); ok && v < 0 {
@@ -148,7 +148,7 @@ func TestResultAccessors(t *testing.T) {
 	cfg.MaxMeasurements = 300
 	cfg.Rank.MaxRank = 5
 	cfg.Rank.Iterations = 4
-	res := p.RunMetro(metro, cfg)
+	res := mustRun(t, p, metro, cfg)
 
 	links := res.LinksAbove(0.5)
 	for _, pr := range links {

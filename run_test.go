@@ -1,0 +1,118 @@
+package metascritic
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// mustRun is the test-side replacement for the deprecated RunMetro: it
+// runs with a background context and fails the test on error.
+func mustRun(t *testing.T, p *Pipeline, metro int, cfg Config) *Result {
+	t.Helper()
+	res, err := p.Run(context.Background(), metro, cfg)
+	if err != nil {
+		t.Fatalf("Run metro %d: %v", metro, err)
+	}
+	return res
+}
+
+func TestRunCancelWrapsErrCanceled(t *testing.T) {
+	w := smallWorld(31)
+	p := NewPipeline(w)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.Run(ctx, 0, DefaultConfig())
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-cancelled run: got %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run: got %v, want context.Canceled too", err)
+	}
+	if errors.Is(err, ErrInvalidConfig) || errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("cancel error matches unrelated sentinels: %v", err)
+	}
+}
+
+func TestRunStrictBudget(t *testing.T) {
+	w := smallWorld(32)
+	p := NewPipeline(w)
+	rng := rand.New(rand.NewSource(1))
+	p.SeedPublicMeasurements(5, rng)
+
+	cfg := DefaultConfig()
+	cfg.Rank.MaxRank = 5
+	cfg.Rank.Iterations = 3
+	cfg.StrictBudget = true
+
+	// A budget far below the bootstrap plan size must fail strictly...
+	cfg.MaxMeasurements = 17
+	if _, err := p.Snapshot().Run(context.Background(), 0, cfg); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("truncated bootstrap: got %v, want ErrBudgetExhausted", err)
+	}
+	// ...and a zero budget cannot cover any bootstrap at all.
+	cfg.MaxMeasurements = 0
+	if _, err := p.Snapshot().Run(context.Background(), 0, cfg); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("zero budget with bootstrap: got %v, want ErrBudgetExhausted", err)
+	}
+	// Zero budget with no bootstrap requested is a legitimate
+	// public-data-only run even under StrictBudget.
+	cfg.BootstrapPerStrategy = 0
+	if _, err := p.Snapshot().Run(context.Background(), 0, cfg); err != nil {
+		t.Fatalf("strict zero-budget run without bootstrap failed: %v", err)
+	}
+	// The lax default keeps the old graceful degradation.
+	cfg = DefaultConfig()
+	cfg.Rank.MaxRank = 5
+	cfg.Rank.Iterations = 3
+	cfg.MaxMeasurements = 17
+	if _, err := p.Snapshot().Run(context.Background(), 0, cfg); err != nil {
+		t.Fatalf("lax truncated bootstrap failed: %v", err)
+	}
+}
+
+// TestDeprecatedWrappersForward pins that the one-release compatibility
+// wrappers are pure forwards of Run: byte-identical results for equal
+// inputs.
+func TestDeprecatedWrappersForward(t *testing.T) {
+	w := smallWorld(33)
+	p := NewPipeline(w)
+	rng := rand.New(rand.NewSource(1))
+	p.SeedPublicMeasurements(5, rng)
+	cfg := DefaultConfig()
+	cfg.BatchSize = 50
+	cfg.MaxMeasurements = 300
+	cfg.Rank.MaxRank = 5
+	cfg.Rank.Iterations = 3
+
+	want, err := p.Snapshot().Run(context.Background(), 0, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	viaCtx, err := p.Snapshot().RunMetroContext(context.Background(), 0, cfg)
+	if err != nil {
+		t.Fatalf("RunMetroContext: %v", err)
+	}
+	viaLegacy := p.Snapshot().RunMetro(0, cfg)
+
+	for name, got := range map[string]*Result{"RunMetroContext": viaCtx, "RunMetro": viaLegacy} {
+		got.Timings, want.Timings = PhaseTimings{}, PhaseTimings{}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s diverged from Run", name)
+		}
+	}
+}
+
+func TestRunErrorMessagesNameTheMetro(t *testing.T) {
+	w := smallWorld(34)
+	p := NewPipeline(w)
+	cfg := DefaultConfig()
+	cfg.BatchSize = 0
+	_, err := p.Run(context.Background(), 2, cfg)
+	if err == nil || !strings.Contains(err.Error(), "metro 2") {
+		t.Fatalf("validation error does not name the metro: %v", err)
+	}
+}

@@ -62,7 +62,7 @@ func BenchmarkRunMetro(b *testing.B) {
 				// inside the timed region, as in a fresh campaign.
 				p := base.Snapshot()
 				p.Engine = traceroute.NewEngine(base.World)
-				res, err := p.RunMetroContext(context.Background(), metro, c)
+				res, err := p.Run(context.Background(), metro, c)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -20,7 +20,7 @@ func topoResult(t *testing.T) (*Pipeline, *Result) {
 	cfg.Rank.MaxRank = 12
 	cfg.Rank.Iterations = 6
 	metro := w.G.MetroOfName("Singapore").Index
-	return p, p.RunMetro(metro, cfg)
+	return p, mustRun(t, p, metro, cfg)
 }
 
 func TestProgressiveTopologyOrdering(t *testing.T) {

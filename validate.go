@@ -1,15 +1,9 @@
 package metascritic
 
 import (
-	"errors"
 	"fmt"
 	"math"
 )
-
-// ErrInvalidConfig is wrapped by every validation failure, so callers can
-// distinguish configuration mistakes from runtime failures with
-// errors.Is(err, metascritic.ErrInvalidConfig).
-var ErrInvalidConfig = errors.New("invalid config")
 
 // Validate rejects configurations that would make a run silently
 // misbehave: NaN or out-of-range exploration fractions, non-positive batch

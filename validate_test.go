@@ -52,26 +52,26 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
-func TestRunMetroContextRejectsInvalid(t *testing.T) {
+func TestRunRejectsInvalid(t *testing.T) {
 	w := smallWorld(1)
 	p := NewPipeline(w)
 	ctx := context.Background()
 
 	cfg := DefaultConfig()
 	cfg.BatchSize = 0
-	if _, err := p.RunMetroContext(ctx, 0, cfg); !errors.Is(err, ErrInvalidConfig) {
+	if _, err := p.Run(ctx, 0, cfg); !errors.Is(err, ErrInvalidConfig) {
 		t.Fatalf("invalid config: got %v, want ErrInvalidConfig", err)
 	}
-	if _, err := p.RunMetroContext(ctx, -1, DefaultConfig()); !errors.Is(err, ErrInvalidConfig) {
+	if _, err := p.Run(ctx, -1, DefaultConfig()); !errors.Is(err, ErrInvalidConfig) {
 		t.Fatalf("negative metro: got %v, want ErrInvalidConfig", err)
 	}
-	if _, err := p.RunMetroContext(ctx, len(w.G.Metros), DefaultConfig()); !errors.Is(err, ErrInvalidConfig) {
+	if _, err := p.Run(ctx, len(w.G.Metros), DefaultConfig()); !errors.Is(err, ErrInvalidConfig) {
 		t.Fatalf("out-of-range metro: got %v, want ErrInvalidConfig", err)
 	}
 
 	cancelled, cancel := context.WithCancel(ctx)
 	cancel()
-	if _, err := p.RunMetroContext(cancelled, 0, DefaultConfig()); !errors.Is(err, context.Canceled) {
+	if _, err := p.Run(cancelled, 0, DefaultConfig()); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled context: got %v, want context.Canceled", err)
 	}
 }
