@@ -4,12 +4,17 @@ GO ?= go
 # METASCRITIC_BENCH_SCALE, select the completion / rank-sweep / propagation
 # micro-benchmarks, record machine-readable results for later PRs to diff.
 BENCH_SCALE ?= 0.05
-BENCH_PATTERN = BenchmarkComplete|BenchmarkRankEstimate|BenchmarkPropagate$$|BenchmarkPropagateInto|BenchmarkRoutesToAll|BenchmarkVisibleLinks|BenchmarkRunMetro|BenchmarkStore|BenchmarkEstimateHandler|BenchmarkSnapshotLoad
-BENCH_PKGS = . ./internal/als ./internal/rank ./internal/bgp ./internal/obs ./internal/api ./internal/api/snapshot
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_PATTERN = BenchmarkComplete|BenchmarkRankEstimate|BenchmarkPropagate$$|BenchmarkPropagateInto|BenchmarkRoutesToAll|BenchmarkVisibleLinks|BenchmarkRunMetro|BenchmarkRunAll|BenchmarkStore|BenchmarkEstimateHandler|BenchmarkSnapshotLoad
+BENCH_PKGS = . ./internal/als ./internal/rank ./internal/bgp ./internal/obs ./internal/api ./internal/api/snapshot ./internal/engine
+BENCH_OUT ?= BENCH_PR7.json
 BENCH_BASELINE ?=
+# The most recent recorded report other than BENCH_OUT becomes the
+# default baseline, so every new report carries before/after deltas
+# against its predecessor (override with BENCH_BASELINE=<bench text>).
+BENCH_PREV = $(lastword $(sort $(filter-out $(BENCH_OUT),$(wildcard BENCH_PR*.json))))
+PROFILE_DIR ?= profiles
 
-.PHONY: build test check bench bench-engine race-measure race-obs race-bgp race-api clean
+.PHONY: build test check bench bench-engine bench-compare profile race-run race-measure race-obs race-bgp race-api clean
 
 build:
 	$(GO) build ./...
@@ -26,18 +31,48 @@ check:
 	$(GO) test -race ./internal/engine/... ./...
 
 # bench runs the hot-path micro-benchmarks at the CI trajectory scale and
-# writes $(BENCH_OUT). Set BENCH_BASELINE to a prior run's text output to
-# embed before/after speedups.
+# writes $(BENCH_OUT). The baseline defaults to the previous BENCH_PR*.json
+# (so reports always carry before/after deltas); set BENCH_BASELINE to a
+# prior run's text output to override.
 bench:
 	METASCRITIC_BENCH_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' \
 		-bench '$(BENCH_PATTERN)' -benchmem -benchtime 2s $(BENCH_PKGS) \
 		| tee /tmp/metascritic_bench.txt
 	$(GO) run ./cmd/benchjson -in /tmp/metascritic_bench.txt \
-		$(if $(BENCH_BASELINE),-before $(BENCH_BASELINE)) \
+		$(if $(BENCH_BASELINE),-before $(BENCH_BASELINE),$(if $(BENCH_PREV),-before-json $(BENCH_PREV))) \
 		-scale $(BENCH_SCALE) -out $(BENCH_OUT)
 
 bench-engine:
 	$(GO) test -bench RunAll -benchtime 2x -run '^$$' ./internal/engine/
+
+# bench-compare diffs the two most recent recorded reports and fails on
+# a >10% wall-clock regression in any end-to-end benchmark (RunMetro /
+# RunAll) — the pre-merge perf gate.
+bench-compare:
+	@set -- $$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -n 2); \
+	if [ $$# -lt 2 ]; then echo "bench-compare: need at least two BENCH_PR*.json reports"; exit 1; fi; \
+	echo "comparing $$1 -> $$2"; \
+	$(GO) run ./cmd/benchjson -compare $$1 $$2
+
+# profile captures CPU and heap profiles from a scaled-down end-to-end
+# RunAll batch, plus the test binary pprof needs to symbolize them:
+#	go tool pprof $(PROFILE_DIR)/engine.test $(PROFILE_DIR)/runall.cpu.pprof
+profile:
+	mkdir -p $(PROFILE_DIR)
+	METASCRITIC_BENCH_SCALE=0.15 $(GO) test -run '^$$' \
+		-bench 'BenchmarkRunAll/metros=4/workers=4' -benchtime 3x \
+		-cpuprofile $(PROFILE_DIR)/runall.cpu.pprof \
+		-memprofile $(PROFILE_DIR)/runall.mem.pprof \
+		-o $(PROFILE_DIR)/engine.test ./internal/engine/
+
+# race-run vets and races the end-to-end run path: one multi-metro batch
+# and the speculative single-metro pipeline, both under the race
+# detector at a small but non-trivial scale.
+race-run:
+	$(GO) vet . ./internal/engine/
+	METASCRITIC_BENCH_SCALE=0.15 $(GO) test -race -run '^$$' \
+		-bench 'BenchmarkRunAll/metros=4/workers=4|BenchmarkRunMetro' \
+		-benchtime 1x . ./internal/engine/
 
 # race-measure exercises the speculative measurement pipeline (fan-out,
 # ordered commit, prefetch, parallel tune/eval helpers) under the race

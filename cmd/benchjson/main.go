@@ -6,10 +6,17 @@
 //
 //	go test -bench ... -benchmem ./... | go run ./cmd/benchjson -out BENCH_PR2.json
 //	go run ./cmd/benchjson -in after.txt -before before.txt -out BENCH_PR2.json
+//	go run ./cmd/benchjson -in after.txt -before-json BENCH_PR6.json -out BENCH_PR7.json
+//	go run ./cmd/benchjson -compare BENCH_PR6.json BENCH_PR7.json
 //
 // When -before is given (a prior run's text output), each benchmark entry
-// carries both measurements plus the before/after speedup; otherwise only
-// "after" is filled.
+// carries both measurements plus the before/after speedup; -before-json
+// instead takes a prior report and uses its "after" measurements as this
+// run's baseline, so every recorded report diffs against its predecessor
+// (`make bench` wires this automatically). -compare diffs two recorded
+// reports and exits non-zero when an end-to-end benchmark (RunMetro /
+// RunAll) regressed by more than -regress-threshold in wall-clock — the
+// `make bench-compare` gate.
 package main
 
 import (
@@ -21,6 +28,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"metascritic/internal/cliflags"
 )
 
 // Measurement is one benchmark result line.
@@ -49,9 +58,31 @@ type Report struct {
 func main() {
 	in := flag.String("in", "", "bench text input (default stdin)")
 	before := flag.String("before", "", "optional baseline bench text to embed as 'before'")
+	beforeJSON := flag.String("before-json", "", "optional prior report whose 'after' measurements become this report's 'before'")
 	out := flag.String("out", "", "output JSON path (default stdout)")
 	scale := flag.String("scale", os.Getenv("METASCRITIC_BENCH_SCALE"), "scale label recorded in the report")
+	compare := flag.Bool("compare", false, "compare two recorded reports (args: old.json new.json) and fail on end-to-end regression")
+	threshold := flag.Float64("regress-threshold", 0.10, "relative ns/op increase that counts as a regression in -compare")
+	var prof cliflags.Profile
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two report paths, got %d", flag.NArg()))
+		}
+		if err := compareReports(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			stopProf()
+			fatal(err)
+		}
+		return
+	}
 
 	after, order, err := parseFile(*in)
 	if err != nil {
@@ -60,6 +91,15 @@ func main() {
 	var base map[string]*Measurement
 	if *before != "" {
 		base, _, err = parseFile(*before)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *beforeJSON != "" {
+		if base != nil {
+			fatal(fmt.Errorf("-before and -before-json are mutually exclusive"))
+		}
+		base, err = loadReportAfter(*beforeJSON)
 		if err != nil {
 			fatal(err)
 		}
@@ -174,6 +214,99 @@ func pkgOf(key string) string {
 }
 
 func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }
+
+// loadReport parses a previously recorded BENCH_*.json document.
+func loadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// loadReportAfter extracts a prior report's "after" measurements keyed
+// the same way parseFile keys text output, so a recorded report can
+// serve as the next report's baseline.
+func loadReportAfter(path string) (map[string]*Measurement, error) {
+	rep, err := loadReport(path)
+	if err != nil {
+		return nil, err
+	}
+	base := make(map[string]*Measurement, len(rep.Benchmarks))
+	for _, e := range rep.Benchmarks {
+		if e.After != nil {
+			base[e.Package+"\t"+e.Name] = e.After
+		}
+	}
+	return base, nil
+}
+
+// endToEnd reports whether a benchmark measures a whole pipeline run
+// (rather than a kernel micro-benchmark): those are the wall-clock
+// numbers the bench-compare gate protects.
+func endToEnd(name string) bool {
+	return strings.HasPrefix(name, "BenchmarkRunMetro") || strings.HasPrefix(name, "BenchmarkRunAll")
+}
+
+// compareReports diffs two recorded reports and returns an error when
+// any end-to-end benchmark's wall-clock regressed by more than
+// threshold (relative ns/op increase). Micro-benchmarks are printed for
+// context but never fail the gate — they are noisier and their cost is
+// already visible inside the end-to-end numbers.
+func compareReports(w io.Writer, oldPath, newPath string, threshold float64) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	if oldRep.Scale != newRep.Scale {
+		fmt.Fprintf(w, "warning: reports were recorded at different scales (%q vs %q); deltas are not comparable\n",
+			oldRep.Scale, newRep.Scale)
+	}
+	oldBy := make(map[string]*Measurement, len(oldRep.Benchmarks))
+	for _, e := range oldRep.Benchmarks {
+		if e.After != nil {
+			oldBy[e.Package+"\t"+e.Name] = e.After
+		}
+	}
+
+	var regressions []string
+	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, e := range newRep.Benchmarks {
+		if e.After == nil {
+			continue
+		}
+		old, ok := oldBy[e.Package+"\t"+e.Name]
+		if !ok || old.NsPerOp <= 0 {
+			fmt.Fprintf(w, "%-60s %14s %14.0f %8s\n", e.Name, "-", e.After.NsPerOp, "new")
+			continue
+		}
+		delta := e.After.NsPerOp/old.NsPerOp - 1
+		marker := ""
+		if endToEnd(e.Name) {
+			marker = " [e2e]"
+			if delta > threshold {
+				marker = " [e2e REGRESSION]"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%)", e.Name, old.NsPerOp, e.After.NsPerOp, 100*delta))
+			}
+		}
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %+7.1f%%%s\n", e.Name, old.NsPerOp, e.After.NsPerOp, 100*delta, marker)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d end-to-end benchmark(s) regressed more than %.0f%% (%s → %s):\n  %s",
+			len(regressions), 100*threshold, oldPath, newPath, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "no end-to-end regression above %.0f%% (%s → %s)\n", 100*threshold, oldPath, newPath)
+	return nil
+}
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchjson:", err)

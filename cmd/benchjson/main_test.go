@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, path string, rep Report) {
+	t.Helper()
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadReportAfterKeysLikeParseFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prev.json")
+	writeReport(t, path, Report{Benchmarks: []Entry{
+		{Name: "BenchmarkRunMetro/workers=1", Package: "metascritic", After: &Measurement{NsPerOp: 100}},
+		{Name: "BenchmarkComplete", Package: "metascritic/internal/als"}, // no After: skipped
+	}})
+	base, err := loadReportAfter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 1 {
+		t.Fatalf("got %d baseline entries, want 1", len(base))
+	}
+	m := base["metascritic\tBenchmarkRunMetro/workers=1"]
+	if m == nil || m.NsPerOp != 100 {
+		t.Fatalf("baseline not keyed pkg\\tname: %+v", base)
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeReport(t, oldPath, Report{Benchmarks: []Entry{
+		{Name: "BenchmarkRunMetro/workers=1", Package: "metascritic", After: &Measurement{NsPerOp: 100}},
+		{Name: "BenchmarkRunAll/metros=4/workers=4", Package: "metascritic/internal/engine", After: &Measurement{NsPerOp: 1000}},
+		{Name: "BenchmarkComplete", Package: "metascritic/internal/als", After: &Measurement{NsPerOp: 50}},
+	}})
+
+	// Within threshold (+5% end-to-end) and a micro-benchmark regression:
+	// the gate passes — only end-to-end wall-clock is protected.
+	writeReport(t, newPath, Report{Benchmarks: []Entry{
+		{Name: "BenchmarkRunMetro/workers=1", Package: "metascritic", After: &Measurement{NsPerOp: 105}},
+		{Name: "BenchmarkRunAll/metros=4/workers=4", Package: "metascritic/internal/engine", After: &Measurement{NsPerOp: 900}},
+		{Name: "BenchmarkComplete", Package: "metascritic/internal/als", After: &Measurement{NsPerOp: 500}},
+	}})
+	var sb strings.Builder
+	if err := compareReports(&sb, oldPath, newPath, 0.10); err != nil {
+		t.Fatalf("within-threshold compare failed: %v\n%s", err, sb.String())
+	}
+
+	// An end-to-end regression beyond the threshold fails, naming the
+	// benchmark.
+	writeReport(t, newPath, Report{Benchmarks: []Entry{
+		{Name: "BenchmarkRunMetro/workers=1", Package: "metascritic", After: &Measurement{NsPerOp: 120}},
+	}})
+	sb.Reset()
+	err := compareReports(&sb, oldPath, newPath, 0.10)
+	if err == nil {
+		t.Fatalf("20%% end-to-end regression passed the gate:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkRunMetro/workers=1") {
+		t.Fatalf("regression error does not name the benchmark: %v", err)
+	}
+
+	// A benchmark absent from the old report is "new", never a
+	// regression.
+	writeReport(t, newPath, Report{Benchmarks: []Entry{
+		{Name: "BenchmarkRunAll/metros=16/workers=4", Package: "metascritic/internal/engine", After: &Measurement{NsPerOp: 9999}},
+	}})
+	sb.Reset()
+	if err := compareReports(&sb, oldPath, newPath, 0.10); err != nil {
+		t.Fatalf("new benchmark treated as regression: %v", err)
+	}
+}
+
+func TestEndToEnd(t *testing.T) {
+	for name, want := range map[string]bool{
+		"BenchmarkRunMetro/workers=1":         true,
+		"BenchmarkRunAll/metros=16/workers=4": true,
+		"BenchmarkComplete":                   false,
+		"BenchmarkPropagate":                  false,
+	} {
+		if endToEnd(name) != want {
+			t.Errorf("endToEnd(%q) = %v, want %v", name, !want, want)
+		}
+	}
+}

@@ -37,9 +37,17 @@ func run() error {
 	workers := flag.Int("workers", 1, "run the study metros concurrently on this many workers before the sweep")
 	wf := cliflags.World{Scale: 0.2, Seed: 1}
 	budget := flag.Int("budget", 8000, "targeted traceroute budget per metro")
+	var prof cliflags.Profile
 	wf.Register(flag.CommandLine)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 	scale, seed := &wf.Scale, &wf.Seed
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

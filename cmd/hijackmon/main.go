@@ -39,9 +39,17 @@ func run() error {
 	pf.Scale = 0.2
 	ef := cliflags.DefaultEngine()
 	ef.Budget = 6000
+	var prof cliflags.Profile
 	pf.Register(flag.CommandLine)
 	ef.Register(flag.CommandLine)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -39,9 +39,17 @@ func run() error {
 	savePath := flag.String("save", "", "write a serving snapshot (world + evidence + results) for metascriticd -load")
 	pf := cliflags.DefaultPipeline()
 	ef := cliflags.DefaultEngine()
+	var prof cliflags.Profile
 	pf.Register(flag.CommandLine)
 	ef.Register(flag.CommandLine)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -22,6 +22,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
 	"os"
 	"os/signal"
 	"strings"
@@ -39,8 +40,12 @@ import (
 type daemonConfig struct {
 	cliflags.Pipeline
 	cliflags.Engine
+	cliflags.Profile
 	// Addr is the listen address.
 	Addr string `json:"addr"`
+	// Pprof serves net/http/pprof under /debug/pprof/ on Addr, so a
+	// long-lived daemon can be profiled in place without a restart.
+	Pprof bool `json:"pprof"`
 	// MaxRunBudget caps the budget a POST /v1/runs may request (0 = no cap).
 	MaxRunBudget int `json:"max_run_budget"`
 	// RateLimit is requests/second/client; 0 disables limiting.
@@ -56,6 +61,7 @@ func defaults() daemonConfig {
 		Pipeline:     cliflags.DefaultPipeline(),
 		Engine:       cliflags.DefaultEngine(),
 		Addr:         ":8480",
+		Pprof:        true,
 		MaxRunBudget: 200000,
 		RateBurst:    20,
 		DrainSeconds: 30,
@@ -86,9 +92,17 @@ func run() error {
 	flag.Float64Var(&cfg.RateLimit, "rate-limit", cfg.RateLimit, "per-client requests/second (0 disables)")
 	flag.Float64Var(&cfg.RateBurst, "rate-burst", cfg.RateBurst, "per-client burst size")
 	flag.IntVar(&cfg.DrainSeconds, "drain", cfg.DrainSeconds, "seconds to wait for active runs and requests on shutdown")
+	flag.BoolVar(&cfg.Pprof, "pprof", cfg.Pprof, "serve net/http/pprof under /debug/pprof/")
 	cfg.Pipeline.Register(flag.CommandLine)
 	cfg.Engine.Register(flag.CommandLine)
+	cfg.Profile.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := cfg.Profile.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -154,7 +168,17 @@ func serve(ctx context.Context, cfg daemonConfig, loadPath, savePath string, rea
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if cfg.Pprof {
+		// net/http/pprof registers its handlers on the default mux at
+		// import time; mount them next to the API so `go tool pprof
+		// http://host/debug/pprof/profile` works against a live daemon.
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	hs := &http.Server{Handler: handler}
 	log.Printf("serving on %s", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()

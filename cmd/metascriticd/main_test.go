@@ -63,6 +63,17 @@ func TestServeGracefulShutdown(t *testing.T) {
 		t.Fatalf("healthz: %d", code)
 	}
 
+	// The pprof endpoints are mounted next to the API (default on).
+	resp0, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof: %v", err)
+	}
+	io.Copy(io.Discard, resp0.Body)
+	resp0.Body.Close()
+	if resp0.StatusCode != 200 {
+		t.Fatalf("pprof cmdline: %d", resp0.StatusCode)
+	}
+
 	// Submit a run and wait for its commit so the snapshot has a result.
 	resp, err := http.Post(base+"/v1/runs", "application/json",
 		strings.NewReader(`{"metros": ["Sydney"], "budget": 250}`))
@@ -174,7 +185,9 @@ func TestDaemonConfigJSONRoundTrip(t *testing.T) {
   "max_run_budget": 1000,
   "rate_limit": 5,
   "rate_burst": 10,
-  "drain_seconds": 5
+  "drain_seconds": 5,
+  "pprof": false,
+  "cpuprofile": "cpu.out"
 }`
 	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
@@ -184,7 +197,8 @@ func TestDaemonConfigJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if cfg.Addr != "127.0.0.1:9999" || cfg.Scale != 0.1 || cfg.Budget != 500 ||
-		cfg.MaxRunBudget != 1000 || cfg.RateLimit != 5 || cfg.DrainSeconds != 5 {
+		cfg.MaxRunBudget != 1000 || cfg.RateLimit != 5 || cfg.DrainSeconds != 5 ||
+		cfg.Pprof || cfg.CPUProfile != "cpu.out" {
 		t.Fatalf("config not applied: %+v", cfg)
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")

@@ -62,8 +62,16 @@ func run() error {
 	truth := flag.Bool("truth", false, "include ground-truth links (large)")
 	out := flag.String("o", "-", "output file ('-' for stdout)")
 	wf := cliflags.World{Scale: 0.2, Seed: 1}
+	var prof cliflags.Profile
 	wf.Register(flag.CommandLine)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	w := wf.Generate()
 	g := w.G

@@ -139,6 +139,20 @@ type TuneResult struct {
 // scan in grid order, which keeps the result byte-identical to the
 // sequential search (ties keep the earliest grid point either way).
 func Tune(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, rank int, rng *rand.Rand) TuneResult {
+	probNoF := NewProblem(E, mask, nil)
+	var probF *Problem
+	if features != nil && features.Cols > 0 {
+		probF = NewProblem(E, mask, features)
+	}
+	return TuneWith(probNoF, probF, E, mask, rank, rng)
+}
+
+// TuneWith is Tune over caller-prebuilt problems: probNoF backs the
+// feature-weight-0 grid points and probF (nil when there are no features)
+// the rest. Callers that complete the matrix right after tuning build the
+// two problems once and share them with the final completion instead of
+// paying NewProblem three times per run.
+func TuneWith(probNoF, probF *Problem, E *mat.Matrix, mask *mat.Mask, rank int, rng *rand.Rand) TuneResult {
 	// Build a holdout of ~10% of observed entries.
 	var entries [][2]int
 	mask.Entries(func(i, j int) {
@@ -155,12 +169,6 @@ func Tune(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, rank int, rng *ra
 	ov := mat.NewOverlay(mask)
 	for _, hh := range holdout {
 		ov.Remove(hh[0], hh[1])
-	}
-
-	probNoF := NewProblem(E, mask, nil)
-	var probF *Problem
-	if features != nil && features.Cols > 0 {
-		probF = NewProblem(E, mask, features)
 	}
 
 	type point struct{ lambda, fw float64 }

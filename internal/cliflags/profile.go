@@ -1,0 +1,104 @@
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profile configures the standard Go diagnostics outputs every command
+// shares: a CPU profile, a heap profile and an execution trace, each
+// written to a file when its flag is set. Register the group, call Start
+// after flag.Parse, and defer the returned stop function; commands that
+// exit through os.Exit must call stop explicitly first, or the profiles
+// are truncated.
+type Profile struct {
+	// CPUProfile is the file the CPU profile is written to ("" = off).
+	CPUProfile string `json:"cpuprofile"`
+	// MemProfile is the file the heap profile is written to on stop
+	// ("" = off). A GC runs first so the profile reflects live objects,
+	// not collection timing.
+	MemProfile string `json:"memprofile"`
+	// Trace is the file the execution trace is written to ("" = off).
+	Trace string `json:"trace"`
+}
+
+// Register adds the group's flags to fs with the current field values as
+// defaults.
+func (p *Profile) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPUProfile, "cpuprofile", p.CPUProfile, "write a CPU profile to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", p.MemProfile, "write a heap profile to this file on exit")
+	fs.StringVar(&p.Trace, "trace", p.Trace, "write an execution trace to this file")
+}
+
+// Start begins every enabled profile and returns the function that stops
+// them and flushes the files. Start with no profiles enabled returns a
+// no-op stop, so callers can defer unconditionally. If any output cannot
+// be started the ones already running are stopped before the error is
+// returned.
+func (p Profile) Start() (stop func() error, err error) {
+	var stops []func() error
+	stopAll := func() error {
+		var first error
+		// Reverse order: the CPU profile and trace stop before the heap
+		// profile is captured.
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		stops = nil
+		return first
+	}
+
+	if p.MemProfile != "" {
+		f, err := os.Create(p.MemProfile)
+		if err != nil {
+			return nil, fmt.Errorf("memprofile: %w", err)
+		}
+		stops = append(stops, func() error {
+			defer f.Close()
+			runtime.GC() // materialize live-object stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			return nil
+		})
+	}
+	if p.CPUProfile != "" {
+		f, err := os.Create(p.CPUProfile)
+		if err != nil {
+			stopAll()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			stopAll()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if p.Trace != "" {
+		f, err := os.Create(p.Trace)
+		if err != nil {
+			stopAll()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			stopAll()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+	return stopAll, nil
+}

@@ -1,0 +1,85 @@
+package cliflags
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileStartStopWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	p := Profile{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		Trace:      filepath.Join(dir, "trace.out"),
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Allocate a little so the profiles have something to record.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, path := range []string{p.CPUProfile, p.MemProfile, p.Trace} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile output missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile output %s is empty", path)
+		}
+	}
+	// stop is idempotent: a second call (defer + explicit) is a no-op.
+	if err := stop(); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+}
+
+func TestProfileDisabledIsNoop(t *testing.T) {
+	stop, err := Profile{}.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}
+
+func TestProfileStartFailureCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	p := Profile{
+		CPUProfile: filepath.Join(dir, "missing-dir", "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+	}
+	if _, err := p.Start(); err == nil {
+		t.Fatal("Start with an uncreatable cpuprofile path did not fail")
+	}
+	// The already-started outputs were unwound: a fresh Start must work.
+	p.CPUProfile = filepath.Join(dir, "cpu.pprof")
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatalf("Start after failed Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}
+
+func TestProfileRegister(t *testing.T) {
+	var p Profile
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	p.Register(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "a", "-memprofile", "b", "-trace", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.CPUProfile != "a" || p.MemProfile != "b" || p.Trace != "c" {
+		t.Fatalf("flags not applied: %+v", p)
+	}
+}

@@ -114,7 +114,10 @@ func (e *Engine) Run(ctx context.Context, metro int, cfg metascritic.Config) (*m
 	cfg.Seed = MetroSeed(cfg.Seed, metro)
 	res, err := e.pipe.Snapshot().Run(ctx, metro, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("engine: %w", err)
+		// A cancelled run's partial result (with its phase telemetry) is
+		// passed through alongside the error; priors are only learned
+		// from completed runs.
+		return res, fmt.Errorf("engine: %w", err)
 	}
 	e.priors.Add(res.StrategyRates)
 	return res, nil
@@ -132,7 +135,11 @@ func (e *Engine) RunMetroContext(ctx context.Context, metro int, cfg metascritic
 // their results plus aggregated statistics. The first per-metro error
 // cancels the rest of the batch and is returned (wrapped); when ctx is
 // cancelled mid-batch, RunAll returns an error wrapping ctx.Err()
-// promptly, without waiting for unstarted metros.
+// promptly, without waiting for unstarted metros. Alongside a non-nil
+// error the MultiResult is still returned: it carries the completed
+// metros' results plus the partial phase telemetry of aborted runs
+// (MetroStats.Aborted), so a cancelled batch's cost is attributable
+// instead of lost.
 func (e *Engine) RunAll(ctx context.Context, cfg Config) (*MultiResult, error) {
 	if err := cfg.Base.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
@@ -172,6 +179,7 @@ func (e *Engine) RunAll(ctx context.Context, cfg Config) (*MultiResult, error) {
 
 	results := make([]*metascritic.Result, len(metros))
 	stats := make([]MetroStats, len(metros))
+	ran := make([]bool, len(metros)) // stats[i] is meaningful
 	var (
 		errMu    sync.Mutex
 		firstErr error
@@ -235,6 +243,22 @@ func (e *Engine) RunAll(ctx context.Context, cfg Config) (*MultiResult, error) {
 				t0 := time.Now()
 				res, err := e.pipe.Snapshot().Run(runCtx, metro, mcfg)
 				if err != nil {
+					if res != nil {
+						// A cancelled run returns its partial result: keep
+						// the telemetry of the phases that did run, so the
+						// batch's phase attribution covers aborted work.
+						stats[idx] = MetroStats{
+							Metro: metro, Name: name, Seed: mcfg.Seed, Worker: worker,
+							Wall:                  time.Since(t0),
+							Aborted:               true,
+							Measurements:          res.Measurements,
+							BootstrapMeasurements: res.BootstrapMeasurements,
+							UsedPriors:            usedPriors,
+							PriorMetros:           priorMetros,
+							Phases:                res.Timings,
+						}
+						ran[idx] = true
+					}
 					fail(fmt.Errorf("engine: metro %s (%d): %w", name, metro, err))
 					e.emit(runCtx, cfg.Events, Event{
 						Kind: MetroFailed, Metro: metro, Name: name,
@@ -253,6 +277,7 @@ func (e *Engine) RunAll(ctx context.Context, cfg Config) (*MultiResult, error) {
 				}
 				results[idx] = res
 				stats[idx] = ms
+				ran[idx] = true
 				if cfg.SharePriors {
 					e.priors.Add(res.StrategyRates)
 				}
@@ -269,12 +294,6 @@ func (e *Engine) RunAll(ctx context.Context, cfg Config) (*MultiResult, error) {
 	errMu.Lock()
 	err := firstErr
 	errMu.Unlock()
-	if err != nil {
-		return nil, err
-	}
-	if cerr := ctx.Err(); cerr != nil {
-		return nil, fmt.Errorf("engine: %w", cerr)
-	}
 
 	out := &MultiResult{
 		Metros:  append([]int(nil), metros...),
@@ -286,20 +305,26 @@ func (e *Engine) RunAll(ctx context.Context, cfg Config) (*MultiResult, error) {
 		},
 	}
 	for i, m := range metros {
-		out.Results[m] = results[i]
+		if !ran[i] {
+			continue // never started (batch aborted first)
+		}
+		if results[i] != nil {
+			out.Results[m] = results[i]
+		}
 		out.Stats.Busy += stats[i].Wall
 		out.Stats.Measurements += stats[i].Measurements
 		out.Stats.BootstrapMeasurements += stats[i].BootstrapMeasurements
-		out.Stats.Phases.Bootstrap += stats[i].Phases.Bootstrap
-		out.Stats.Phases.RankLoop += stats[i].Phases.RankLoop
-		out.Stats.Phases.Completion += stats[i].Phases.Completion
-		out.Stats.Phases.Threshold += stats[i].Phases.Threshold
-		out.Stats.Phases.Estimate += stats[i].Phases.Estimate
-		out.Stats.Phases.Measure.Merge(stats[i].Phases.Measure)
+		out.Stats.Phases.Add(stats[i].Phases)
 	}
 	// Snapshots share the baseline pipeline's traceroute engine and its
 	// route cache, so this snapshot covers the whole batch.
 	out.Stats.RouteCache = e.pipe.Engine.Cache.Stats()
+	if err != nil {
+		return out, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return out, fmt.Errorf("engine: %w", cerr)
+	}
 	return out, nil
 }
 

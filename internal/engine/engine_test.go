@@ -153,7 +153,7 @@ func TestRunAllCancellation(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := New(p).RunAll(ctx, Config{Base: cfg, Workers: 2})
+	mr, err := New(p).RunAll(ctx, Config{Base: cfg, Workers: 2})
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatalf("RunAll returned nil error under a 60ms deadline")
@@ -165,6 +165,20 @@ func TestRunAllCancellation(t *testing.T) {
 	// the abort must land promptly, not after the remaining budget.
 	if elapsed > 5*time.Second {
 		t.Fatalf("cancellation took %v, want prompt abort", elapsed)
+	}
+	// The batch statistics survive the abort: the MultiResult comes back
+	// alongside the error, and any run the deadline interrupted mid-phase
+	// is marked Aborted with the telemetry of the phases that did run.
+	if mr == nil {
+		t.Fatal("cancelled RunAll returned a nil MultiResult")
+	}
+	for _, ms := range mr.Stats.PerMetro {
+		if ms.Aborted && ms.Phases.Total() <= 0 {
+			t.Fatalf("aborted metro %s carries no partial phase timings", ms.Name)
+		}
+		if ms.Aborted && mr.Results[ms.Metro] != nil {
+			t.Fatalf("aborted metro %s leaked a result into Results", ms.Name)
+		}
 	}
 }
 

@@ -25,6 +25,11 @@ type MetroStats struct {
 	// run; PriorMetros is how many finished metros were pooled into them.
 	UsedPriors  bool
 	PriorMetros int
+	// Aborted marks a run that was cancelled mid-flight: Phases then
+	// carries the partial telemetry of the phases that did run (the
+	// pipeline returns its partial Result alongside the cancel error),
+	// and the other counters cover only the completed portion.
+	Aborted bool
 	// Phases breaks the run down by pipeline phase.
 	Phases metascritic.PhaseTimings
 }
@@ -40,7 +45,8 @@ type RunStats struct {
 	// Measurements and BootstrapMeasurements sum over all metros.
 	Measurements          int
 	BootstrapMeasurements int
-	// Phases sums the per-phase wall-clock over all metros.
+	// Phases sums the per-phase wall-clock and allocation counters over
+	// all metros, including the partial phases of aborted runs.
 	Phases metascritic.PhaseTimings
 	// RouteCache snapshots the shared route cache at the end of the batch:
 	// all metros propagate over one true topology, so the shard/byte/hit

@@ -108,6 +108,17 @@ func (m *Mask) RowEntries(i int) []int {
 // on the mask.
 func (m *Mask) RowView(i int) []int32 { return m.rows[i] }
 
+// AppendRowEntries is RowEntries with caller-provided storage: it appends
+// row i's sorted column indices onto buf and returns the extended slice,
+// letting hot loops (the holdout sampler redraws every row each round)
+// reuse one backing array instead of allocating per row.
+func (m *Mask) AppendRowEntries(buf []int, i int) []int {
+	for _, j := range m.rows[i] {
+		buf = append(buf, int(j))
+	}
+	return buf
+}
+
 // Count returns the total number of observed entries, counting (i,j) and
 // (j,i) separately (diagonal entries once).
 func (m *Mask) Count() int {

@@ -84,11 +84,18 @@ func (e *Estimate) clear(i, j int) {
 
 // RowFill returns the number of observed entries for each member row.
 func (e *Estimate) RowFill() []int {
-	out := make([]int, len(e.Members))
-	for i := range out {
-		out[i] = e.Mask.RowCount(i)
+	return e.AppendRowFill(nil)
+}
+
+// AppendRowFill is RowFill with caller-provided storage: it overwrites
+// buf (growing it as needed) with the per-row counts and returns it, so
+// per-batch callers reuse one buffer.
+func (e *Estimate) AppendRowFill(buf []int) []int {
+	buf = buf[:0]
+	for i := range e.Members {
+		buf = append(buf, e.Mask.RowCount(i))
 	}
-	return out
+	return buf
 }
 
 // PairCounts returns, per member AS, the number of positive and negative

@@ -141,6 +141,17 @@ type Store struct {
 	// Clone (it is cheap to rebuild from minConflict and mutates on
 	// read).
 	consistent map[asgraph.GeoScope]*consistEntry
+
+	// trScratch holds AddTrace's per-call working buffers (hop
+	// resolution, segment collapse), reused across traces. Clone builds
+	// the snapshot from a fresh literal, so base and snapshot never
+	// alias these buffers; the findings a caller keeps are always
+	// freshly allocated.
+	trScratch struct {
+		hops []hopInfo
+		gaps []bool
+		segs []traceSeg
+	}
 }
 
 // NewStore builds an empty store. resolve is the hop-resolution function
@@ -166,6 +177,13 @@ type hopInfo struct {
 	ixp   int
 }
 
+// traceSeg is one AS-level segment of a collapsed trace.
+type traceSeg struct {
+	as       int
+	metro    int  // metro where we first saw the AS on this trace
+	adjacent bool // crossing from the previous segment had no gap
+}
+
 // AddTrace ingests one traceroute and returns what it learned. Unresponsive
 // hops break adjacency: a crossing is only derived from two consecutive
 // responsive hops (the paper's definition of link observation).
@@ -179,9 +197,9 @@ func (s *Store) AddTrace(tr traceroute.Trace) []Finding {
 	s.ownProbes()
 	s.probeTraces[pk]++
 
-	// Resolve responsive hops.
-	var hops []hopInfo
-	var gaps []bool // gaps[i]: an unresponsive hop preceded hops[i]
+	// Resolve responsive hops (into store-owned scratch; see trScratch).
+	hops := s.trScratch.hops[:0]
+	gaps := s.trScratch.gaps[:0] // gaps[i]: an unresponsive hop preceded hops[i]
 	gap := false
 	for _, h := range tr.Hops {
 		if !h.Responsive {
@@ -198,23 +216,20 @@ func (s *Store) AddTrace(tr traceroute.Trace) []Finding {
 		gap = false
 		s.coverProbe(pk, inf.AS, inf.Metro)
 	}
+	s.trScratch.hops, s.trScratch.gaps = hops, gaps
 
 	var findings []Finding
 
 	// Collapse to AS-level segments while noting crossings between
 	// consecutive responsive hops.
-	type seg struct {
-		as       int
-		metro    int  // metro where we first saw the AS on this trace
-		adjacent bool // crossing from the previous segment had no gap
-	}
-	var segs []seg
+	segs := s.trScratch.segs[:0]
 	for i, h := range hops {
 		if len(segs) > 0 && segs[len(segs)-1].as == h.as {
 			continue
 		}
-		segs = append(segs, seg{as: h.as, metro: h.metro, adjacent: !gaps[i]})
+		segs = append(segs, traceSeg{as: h.as, metro: h.metro, adjacent: !gaps[i]})
 	}
+	s.trScratch.segs = segs
 
 	// Direct crossings: adjacent segments with no gap between them.
 	for i := 1; i < len(segs); i++ {

@@ -3,6 +3,18 @@
 // measurement strategies, the per-link success-probability matrix P_m, the
 // ε-greedy exploitation/exploration batch selection, per-vantage-point
 // scoring, and the hierarchical cross-metro prior of Appx. D.6.
+//
+// The selector is the inner loop of a whole run: SelectBatch evaluates
+// EntryProb for every open (row, column) pair of the neediest rows, once
+// per selected measurement. PR 7 profiling showed that loop dominating
+// end-to-end wall-clock through map hashing (16-byte [2]int and struct
+// keys) and per-candidate allocations, so every per-pair structure here is
+// a dense slice indexed by member row (penalties, exploration marks, VP
+// scores, category caches) and all batch-scoped scratch lives on the
+// Selector. The selection semantics — iteration order, tie-breaking, and
+// the exact RNG consumption sequence — are bit-identical to the original
+// map-based implementation; a Selector is not safe for concurrent use
+// (and never was: Report's call order shapes future batches).
 package probe
 
 import (
@@ -55,6 +67,11 @@ type Strategy struct {
 // NumStrategies is the total number of measurement strategies.
 const NumStrategies = int(asgraph.NumGeoScopes) * int(numVPTopo) * int(asgraph.NumGeoScopes) * int(numTgtTopo)
 
+// numTgtKeys is the number of distinct target category keys; a strategy ID
+// factors as vpKey*numTgtKeys + tgtKey (see ID), which the hot path uses
+// to combine cached category keys without rebuilding Strategy values.
+const numTgtKeys = int(asgraph.NumGeoScopes) * int(numTgtTopo)
+
 // ID returns the strategy's dense index in [0, NumStrategies).
 func (s Strategy) ID() int {
 	return ((int(s.VPGeo)*int(numVPTopo)+int(s.VPTop))*int(asgraph.NumGeoScopes)+int(s.TgtGeo))*int(numTgtTopo) + int(s.TgtTop)
@@ -69,6 +86,17 @@ func StrategyFromID(id int) Strategy {
 	vt := id % int(numVPTopo)
 	id /= int(numVPTopo)
 	return Strategy{VPGeo: asgraph.GeoScope(id), VPTop: VPTopo(vt), TgtGeo: asgraph.GeoScope(tg), TgtTop: TgtTopo(tt)}
+}
+
+// strategyFromKeys rebuilds the Strategy of a (vpKey, tgtKey) category
+// pair; equivalent to StrategyFromID(vkey*numTgtKeys+tkey).
+func strategyFromKeys(vkey, tkey int) Strategy {
+	return Strategy{
+		VPGeo:  asgraph.GeoScope(vkey / int(numVPTopo)),
+		VPTop:  VPTopo(vkey % int(numVPTopo)),
+		TgtGeo: asgraph.GeoScope(tkey / int(numTgtTopo)),
+		TgtTop: TgtTopo(tkey % int(numTgtTopo)),
+	}
 }
 
 // Target is a candidate traceroute destination: an address in AS at metro.
@@ -88,9 +116,27 @@ type Measurement struct {
 	Exploration bool
 }
 
+// vpCat is one non-empty vantage-point category of a member row: the VPs
+// plus their indices into Selector.vps (for the dense score table).
+type vpCat struct {
+	key  int
+	vps  []VP
+	idxs []int32
+}
+
+// tgtCat is one non-empty target category of a member row.
+type tgtCat struct {
+	key  int
+	tgts []Target
+}
+
+// counter tracks informative/total outcomes of a (VP, member) pairing.
+type counter struct{ good, total float64 }
+
 // Selector chooses measurements for one metro. It sees only public data:
 // the AS graph (relationships, footprints, IXP membership), probe
-// locations, and a hitlist of probe-able targets.
+// locations, and a hitlist of probe-able targets. A Selector is not safe
+// for concurrent use.
 type Selector struct {
 	G     *asgraph.Graph
 	Metro int
@@ -106,53 +152,95 @@ type Selector struct {
 	stratSucc  [NumStrategies]float64
 	stratTrial [NumStrategies]float64
 
-	// Per-entry penalties: repeated uninformative attempts at the same
-	// entry with the same strategy halve its probability (§3.3.2), and a
-	// milder entry-wide factor discourages cycling through strategies on
-	// an elusive link. Keyed by entry first so the hot path pays one map
-	// lookup per entry, not one per strategy.
-	penalty      map[[2]int]map[int]float64
-	entryPenalty map[[2]int]float64
-	// attempts per entry (for the one-exploration-per-entry cap).
-	explored map[[2]int]bool
+	// Per-entry penalties, dense by member-row pair (i*n+j): repeated
+	// uninformative attempts at the same entry with the same strategy
+	// halve its probability (§3.3.2), and a milder entry-wide factor
+	// discourages cycling through strategies on an elusive link.
+	// penalty is keyed by the ORDERED pair and holds a lazily allocated
+	// per-strategy factor slice (0 = no penalty); entryPenalty is keyed
+	// by the unordered pair (i<j) with 0 meaning no penalty (factor 1).
+	penalty      map[int][]float64
+	entryPenalty []float64
+	// explored marks entries that spent their one exploration attempt
+	// (unordered, i<j).
+	explored []bool
 
-	// VP scoring: per (vp, AS) informative/total counts.
-	vpScore map[vpAS]*counter
+	// VP scoring: per (member row, vp index) informative/total counts.
+	// Rows are allocated lazily on first Report for the member, so the
+	// table stays proportional to the measured rows. vpIndex resolves a
+	// VP value back to its index in vps (built on first Report).
+	vpScore [][]counter
+	vpIndex map[VP]int32
 
-	// Cached per-member VP and target categorizations, with their sorted
-	// key lists (map iteration order is random; the hot path must be
-	// deterministic and cannot afford re-sorting).
-	vpCats  map[int]map[int][]VP // member -> catKey(vpGeo, vpTopo) -> vps
-	vpKeys  map[int][]int
-	tgtCats map[int]map[int][]Target // member -> catKey(tgtGeo, tgtTopo) -> targets
-	tgtKeys map[int][]int
+	// Cached per-member-row VP and target categorizations as dense lists
+	// sorted by category key (map iteration order is random; the hot
+	// path must be deterministic and cannot afford re-sorting).
+	vpCats  [][]vpCat
+	tgtCats [][]tgtCat
+
+	// Batch-scoped scratch, reused across SelectBatch calls and across
+	// the EntryProb sweep (one Selector serves one goroutine).
+	fillScratch   []int
+	pendingMark   []bool // n×n: entry already chosen in this batch
+	perRowScratch []int  // explorations per row in this batch
+	rowSorter     rowFillSorter
+	candSorter    candSorter
+	sampleScratch []VP
+	idxScratch    []int32
+	weightScratch []float64
+	// Result slots for the allocation-free entryProb: A and B hold the
+	// two orientations of the pair under evaluation, best holds the
+	// winner across pairs (so later evaluations cannot clobber it).
+	measureA, measureB, measureBest Measurement
 }
 
-type vpAS struct {
-	vp VP
-	as int
+type exploreCand struct{ i, j, sum int }
+
+// rowFillSorter and candSorter are reusable sort.Interface
+// implementations: the selection loops sort once per chosen measurement,
+// and sort.Slice's reflect-based swapper allocates per call while
+// sort.Sort/sort.Stable on a pointer receiver does not.
+type rowFillSorter struct {
+	rows []int
+	fill []int
 }
 
-type counter struct{ good, total float64 }
+func (s *rowFillSorter) Len() int           { return len(s.rows) }
+func (s *rowFillSorter) Less(a, b int) bool { return s.fill[s.rows[a]] < s.fill[s.rows[b]] }
+func (s *rowFillSorter) Swap(a, b int)      { s.rows[a], s.rows[b] = s.rows[b], s.rows[a] }
+
+type candSorter struct{ cands []exploreCand }
+
+func (s *candSorter) Len() int { return len(s.cands) }
+func (s *candSorter) Less(a, b int) bool {
+	ca, cb := &s.cands[a], &s.cands[b]
+	if ca.sum != cb.sum {
+		return ca.sum < cb.sum
+	}
+	if ca.i != cb.i {
+		return ca.i < cb.i
+	}
+	return ca.j < cb.j
+}
+func (s *candSorter) Swap(a, b int) { s.cands[a], s.cands[b] = s.cands[b], s.cands[a] }
 
 // NewSelector builds a selector for a metro over the given members, probes
 // and hitlist of target ASes.
 func NewSelector(g *asgraph.Graph, metro int, members []int, vps []VP, hitlist []int) *Selector {
+	n := len(members)
 	s := &Selector{
 		G:            g,
 		Metro:        metro,
 		Members:      members,
-		Index:        make(map[int]int, len(members)),
+		Index:        make(map[int]int, n),
 		vps:          vps,
 		hitlist:      map[int]bool{},
-		penalty:      map[[2]int]map[int]float64{},
-		entryPenalty: map[[2]int]float64{},
-		explored:     map[[2]int]bool{},
-		vpScore:      map[vpAS]*counter{},
-		vpCats:       map[int]map[int][]VP{},
-		vpKeys:       map[int][]int{},
-		tgtCats:      map[int]map[int][]Target{},
-		tgtKeys:      map[int][]int{},
+		penalty:      map[int][]float64{},
+		entryPenalty: make([]float64, n*n),
+		explored:     make([]bool, n*n),
+		vpScore:      make([][]counter, n),
+		vpCats:       make([][]vpCat, n),
+		tgtCats:      make([][]tgtCat, n),
 	}
 	for i, as := range members {
 		s.Index[as] = i
@@ -218,44 +306,26 @@ func (s *Selector) BootstrapPlan(perStrategy, maxEntriesScanned int, rng *rand.R
 			continue
 		}
 		asI, asJ := s.Members[i], s.Members[j]
-		vcats := s.vpCategories(asI)
-		tcats := s.targetsFor(asJ)
-		for _, vkey := range sortedKeys(vcats) {
-			vps := vcats[vkey]
-			for _, tkey := range sortedKeys(tcats) {
-				tgts := tcats[tkey]
-				strat := Strategy{
-					VPGeo:  asgraph.GeoScope(vkey / int(numVPTopo)),
-					VPTop:  VPTopo(vkey % int(numVPTopo)),
-					TgtGeo: asgraph.GeoScope(tkey / int(numTgtTopo)),
-					TgtTop: TgtTopo(tkey % int(numTgtTopo)),
-				}
-				id := strat.ID()
+		vcats := s.vpCategories(i)
+		tcats := s.targetsFor(j)
+		for _, vc := range vcats {
+			for _, tc := range tcats {
+				id := vc.key*numTgtKeys + tc.key
 				if counts[id] >= perStrategy {
 					continue
 				}
 				counts[id]++
 				plan = append(plan, Measurement{
-					VP:     vps[rng.Intn(len(vps))],
-					Target: tgts[rng.Intn(len(tgts))],
+					VP:     vc.vps[rng.Intn(len(vc.vps))],
+					Target: tc.tgts[rng.Intn(len(tc.tgts))],
 					LinkI:  asI, LinkJ: asJ,
-					Strat: strat,
+					Strat: strategyFromKeys(vc.key, tc.key),
 					P:     s.baseRate(id),
 				})
 			}
 		}
 	}
 	return plan
-}
-
-// sortedKeys returns the map's keys in increasing order.
-func sortedKeys[V any](m map[int]V) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Ints(out)
-	return out
 }
 
 // vpTopoOf categorizes a vantage point relative to AS i.
@@ -269,45 +339,67 @@ func (s *Selector) vpTopoOf(vp VP, i int) VPTopo {
 	return VPOutside
 }
 
-// vpCategories returns the vantage points grouped by (geo, topo) category
-// for member AS i, cached.
-func (s *Selector) vpCategories(i int) map[int][]VP {
-	if c, ok := s.vpCats[i]; ok {
+// vpCategories returns the vantage points of member row i grouped by
+// (geo, topo) category, as a dense list sorted by category key, cached.
+func (s *Selector) vpCategories(i int) []vpCat {
+	if c := s.vpCats[i]; c != nil {
 		return c
 	}
-	c := map[int][]VP{}
+	asI := s.Members[i]
+	byKey := map[int]int{} // key -> index into cats
+	cats := []vpCat{}
 	for _, vp := range s.vps {
 		geo := s.G.ScopeOfMetros(vp.Metro, s.Metro)
-		topo := s.vpTopoOf(vp, i)
+		topo := s.vpTopoOf(vp, asI)
 		key := int(geo)*int(numVPTopo) + int(topo)
-		c[key] = append(c[key], vp)
+		ci, ok := byKey[key]
+		if !ok {
+			ci = len(cats)
+			byKey[key] = ci
+			cats = append(cats, vpCat{key: key})
+		}
+		// Canonicalize duplicate VP values (two probes in the same AS at
+		// the same metro) onto one score-table index, matching the
+		// value-keyed scoring they'd share in a map.
+		vi, _ := s.vpIndexOf(vp)
+		cats[ci].vps = append(cats[ci].vps, vp)
+		cats[ci].idxs = append(cats[ci].idxs, vi)
 	}
-	s.vpCats[i] = c
-	s.vpKeys[i] = sortedKeys(c)
-	return c
+	sort.Slice(cats, func(a, b int) bool { return cats[a].key < cats[b].key })
+	s.vpCats[i] = cats
+	return cats
 }
 
-// targetsFor enumerates candidate targets for far-side AS j, grouped by
-// (geo, topo) category. Targets outside j's customer cone are not
-// considered (§3.3.2); the AdjIXP category holds targets in j at the metro
-// when j is a member of an IXP there.
-func (s *Selector) targetsFor(j int) map[int][]Target {
-	if c, ok := s.tgtCats[j]; ok {
+// targetsFor enumerates candidate targets for the member at row j, grouped
+// by (geo, topo) category as a dense list sorted by category key, cached.
+// Targets outside the member's customer cone are not considered (§3.3.2);
+// the AdjIXP category holds targets in the AS at the metro when it is a
+// member of an IXP there.
+func (s *Selector) targetsFor(j int) []tgtCat {
+	if c := s.tgtCats[j]; c != nil {
 		return c
 	}
-	out := map[int][]Target{}
+	asJ := s.Members[j]
+	byKey := map[int]int{}
+	cats := []tgtCat{}
 	add := func(t Target, topo TgtTopo) {
 		geo := s.G.ScopeOfMetros(t.Metro, s.Metro)
 		key := int(geo)*int(numTgtTopo) + int(topo)
-		out[key] = append(out[key], t)
+		ci, ok := byKey[key]
+		if !ok {
+			ci = len(cats)
+			byKey[key] = ci
+			cats = append(cats, tgtCat{key: key})
+		}
+		cats[ci].tgts = append(cats[ci].tgts, t)
 	}
-	if s.hitlist[j] {
-		for _, m := range s.G.ASes[j].Metros {
-			add(Target{AS: j, Metro: m}, TgtInAS)
+	if s.hitlist[asJ] {
+		for _, m := range s.G.ASes[asJ].Metros {
+			add(Target{AS: asJ, Metro: m}, TgtInAS)
 			if m == s.Metro {
-				for _, ix := range s.G.ASes[j].IXPs {
+				for _, ix := range s.G.ASes[asJ].IXPs {
 					if s.G.IXPs[ix].Metro == s.Metro {
-						add(Target{AS: j, Metro: m}, TgtAdjIXP)
+						add(Target{AS: asJ, Metro: m}, TgtAdjIXP)
 						break
 					}
 				}
@@ -316,7 +408,7 @@ func (s *Selector) targetsFor(j int) map[int][]Target {
 	}
 	// Direct customers stand in for the full cone (keeps enumeration
 	// bounded; deeper cone members add little signal).
-	for _, c := range s.G.Customers[j] {
+	for _, c := range s.G.Customers[asJ] {
 		if !s.hitlist[c] {
 			continue
 		}
@@ -324,9 +416,9 @@ func (s *Selector) targetsFor(j int) map[int][]Target {
 			add(Target{AS: c, Metro: m}, TgtInCone)
 		}
 	}
-	s.tgtCats[j] = out
-	s.tgtKeys[j] = sortedKeys(out)
-	return out
+	sort.Slice(cats, func(a, b int) bool { return cats[a].key < cats[b].key })
+	s.tgtCats[j] = cats
+	return cats
 }
 
 // baseRate returns the prior-informed success rate of a strategy.
@@ -337,64 +429,70 @@ func (s *Selector) baseRate(id int) float64 {
 // EntryProb returns P_ijm: the best estimated probability, over all
 // strategies with available (vp, target) pairs, that a traceroute fills
 // entry (i, j) — member-row indices. The second result is the best
-// concrete measurement achieving it.
+// concrete measurement achieving it (freshly allocated; the batch
+// selection loops use entryProb with a caller-owned slot instead).
 func (s *Selector) EntryProb(i, j int, rng *rand.Rand) (float64, *Measurement) {
+	var m Measurement
+	p := s.entryProb(i, j, rng, &m)
+	if p == 0 {
+		return 0, nil
+	}
+	return p, &m
+}
+
+// entryProb is the allocation-free core of EntryProb: it fills out with
+// the best concrete measurement and returns its probability (0 when no
+// measurement is possible, leaving out untouched).
+func (s *Selector) entryProb(i, j int, rng *rand.Rand, out *Measurement) float64 {
 	asI, asJ := s.Members[i], s.Members[j]
 	bestP := 0.0
-	bestVKey, bestTKey := -1, -1
-	var bestStrat Strategy
-	vcats := s.vpCategories(asI)
-	tcats := s.targetsFor(asJ)
-	vkeys, tkeys := s.vpKeys[asI], s.tgtKeys[asJ]
+	bestV, bestT := -1, -1
+	vcats := s.vpCategories(i)
+	tcats := s.targetsFor(j)
 	entryPen := s.entryPenaltyFor(i, j)
-	pens := s.penalty[[2]int{i, j}]
-	for _, vkey := range vkeys {
-		vps := vcats[vkey]
-		for _, tkey := range tkeys {
-			tgts := tcats[tkey]
-			strat := Strategy{
-				VPGeo:  asgraph.GeoScope(vkey / int(numVPTopo)),
-				VPTop:  VPTopo(vkey % int(numVPTopo)),
-				TgtGeo: asgraph.GeoScope(tkey / int(numTgtTopo)),
-				TgtTop: TgtTopo(tkey % int(numTgtTopo)),
-			}
-			id := strat.ID()
+	pens := s.penalty[i*len(s.Members)+j]
+	for vi := range vcats {
+		vc := &vcats[vi]
+		vbase := vc.key * numTgtKeys
+		nv := float64(len(vc.vps))
+		for ti := range tcats {
+			tc := &tcats[ti]
+			id := vbase + tc.key
 			pen := entryPen
 			if pens != nil {
-				if p, ok := pens[id]; ok {
+				if p := pens[id]; p != 0 {
 					pen *= p
 				}
 			}
-			avail := float64(len(vps) * len(tgts))
+			avail := nv * float64(len(tc.tgts))
 			boost := avail / (avail + 3)
 			// The pool-size boost is a mild tie-breaker (§3.3.2), not a
 			// driver: the learned per-strategy rate dominates.
 			p := s.baseRate(id) * pen * (0.85 + 0.15*boost)
 			if p > bestP {
 				bestP = p
-				bestVKey, bestTKey = vkey, tkey
-				bestStrat = strat
+				bestV, bestT = vi, ti
 			}
 		}
 	}
-	if bestVKey < 0 {
-		return 0, nil
+	if bestV < 0 {
+		return 0
 	}
 	// Materialize the concrete measurement only for the winning category.
-	vps := vcats[bestVKey]
-	tgts := tcats[bestTKey]
-	best := &Measurement{
-		VP:     s.pickVP(vps, asI, rng),
-		Target: tgts[rng.Intn(len(tgts))],
+	vc := &vcats[bestV]
+	tc := &tcats[bestT]
+	*out = Measurement{
+		VP:     s.pickVP(vc.vps, vc.idxs, i, rng),
+		Target: tc.tgts[rng.Intn(len(tc.tgts))],
 		LinkI:  asI, LinkJ: asJ,
-		Strat: bestStrat, P: bestP,
+		Strat: strategyFromKeys(vc.key, tc.key), P: bestP,
 	}
-	return bestP, best
+	return bestP
 }
 
 func (s *Selector) penaltyFor(i, j, strat int) float64 {
-	if m := s.penalty[[2]int{i, j}]; m != nil {
-		if p, ok := m[strat]; ok {
+	if m := s.penalty[i*len(s.Members)+j]; m != nil {
+		if p := m[strat]; p != 0 {
 			return p
 		}
 	}
@@ -405,15 +503,16 @@ func (s *Selector) entryPenaltyFor(i, j int) float64 {
 	if i > j {
 		i, j = j, i
 	}
-	if p, ok := s.entryPenalty[[2]int{i, j}]; ok {
+	if p := s.entryPenalty[i*len(s.Members)+j]; p != 0 {
 		return p
 	}
 	return 1
 }
 
 // pickVP selects a vantage point with probability proportional to its
-// informativeness score for AS i (biased random, §3.3.2).
-func (s *Selector) pickVP(vps []VP, asI int, rng *rand.Rand) VP {
+// informativeness score for member row i (biased random, §3.3.2). idxs
+// holds the VPs' indices into s.vps (parallel to vps) for the score table.
+func (s *Selector) pickVP(vps []VP, idxs []int32, i int, rng *rand.Rand) VP {
 	if len(vps) == 1 {
 		return vps[0]
 	}
@@ -421,18 +520,30 @@ func (s *Selector) pickVP(vps []VP, asI int, rng *rand.Rand) VP {
 	// biased pick among 24 random candidates behaves like the full scan
 	// at a fraction of the cost.
 	if len(vps) > 24 {
-		sample := make([]VP, 24)
-		for k := range sample {
-			sample[k] = vps[rng.Intn(len(vps))]
+		if cap(s.sampleScratch) < 24 {
+			s.sampleScratch = make([]VP, 24)
+			s.idxScratch = make([]int32, 24)
 		}
-		vps = sample
+		sample, sidx := s.sampleScratch[:24], s.idxScratch[:24]
+		for k := range sample {
+			pick := rng.Intn(len(vps))
+			sample[k] = vps[pick]
+			sidx[k] = idxs[pick]
+		}
+		vps, idxs = sample, sidx
 	}
-	weights := make([]float64, len(vps))
+	if cap(s.weightScratch) < len(vps) {
+		s.weightScratch = make([]float64, len(vps))
+	}
+	weights := s.weightScratch[:len(vps)]
 	total := 0.0
-	for k, vp := range vps {
+	scores := s.vpScore[i]
+	for k := range vps {
 		w := 0.2
-		if c, ok := s.vpScore[vpAS{vp, asI}]; ok && c.total > 0 {
-			w += c.good / c.total
+		if scores != nil {
+			if c := &scores[idxs[k]]; c.total > 0 {
+				w += c.good / c.total
+			}
 		}
 		weights[k] = w
 		total += w
@@ -458,15 +569,24 @@ func (s *Selector) pickVP(vps []VP, asI int, rng *rand.Rand) VP {
 // order, so the selector's statistics — and every batch SelectBatch
 // chooses afterwards — are identical to a serial run.
 func (s *Selector) SelectBatch(size int, eps float64, rowFill []int, need []int, has func(i, j int) bool, rng *rand.Rand) []Measurement {
-	fill := append([]int(nil), rowFill...)
-	pending := map[[2]int]bool{}
-	explorePerRow := map[int]int{}
+	n := len(s.Members)
+	fill := append(s.fillScratch[:0], rowFill...)
+	s.fillScratch = fill
+	if s.pendingMark == nil {
+		s.pendingMark = make([]bool, n*n)
+		s.perRowScratch = make([]int, n)
+	}
+	pending := s.pendingMark
+	perRow := s.perRowScratch
+	for k := range perRow {
+		perRow[k] = 0
+	}
 	var out []Measurement
 	for len(out) < size {
 		explore := rng.Float64() < eps
 		var m *Measurement
 		if explore {
-			m = s.selectExplore(fill, need, has, pending, explorePerRow, rng)
+			m = s.selectExplore(fill, need, has, pending, perRow, rng)
 		}
 		if m == nil {
 			m = s.selectExploit(fill, need, has, pending, rng)
@@ -475,37 +595,49 @@ func (s *Selector) SelectBatch(size int, eps float64, rowFill []int, need []int,
 			break // nothing measurable remains
 		}
 		i, j := s.Index[m.LinkI], s.Index[m.LinkJ]
-		pending[[2]int{i, j}] = true
-		pending[[2]int{j, i}] = true
+		pending[i*n+j] = true
+		pending[j*n+i] = true
 		fill[i]++
 		fill[j]++
 		out = append(out, *m)
+	}
+	// Clear the pending marks this batch set (bounded by the batch size,
+	// so clearing costs O(|out|), not O(n²)).
+	for _, m := range out {
+		i, j := s.Index[m.LinkI], s.Index[m.LinkJ]
+		pending[i*n+j] = false
+		pending[j*n+i] = false
 	}
 	return out
 }
 
 // selectExploit picks the row with the fewest filled entries that has some
 // entry with P > 0.1, then the entry with the highest probability (§3.3.1).
-func (s *Selector) selectExploit(fill, need []int, has func(i, j int) bool, pending map[[2]int]bool, rng *rand.Rand) *Measurement {
+func (s *Selector) selectExploit(fill, need []int, has func(i, j int) bool, pending []bool, rng *rand.Rand) *Measurement {
 	n := len(s.Members)
-	order := rowsByFill(fill, need, rng)
+	order := s.rowsByFill(fill, need, rng)
 	for _, i := range order {
 		bestP := 0.1
 		var best *Measurement
 		for j := 0; j < n; j++ {
-			if j == i || has(i, j) || pending[[2]int{i, j}] {
+			if j == i || has(i, j) || pending[i*n+j] {
 				continue
 			}
 			// A link can be measured from either side: probe near i
 			// toward j, or near j toward i. Take the better orientation.
-			p, m := s.EntryProb(i, j, rng)
-			if p2, m2 := s.EntryProb(j, i, rng); p2 > p {
-				p, m = p2, m2
+			p := s.entryProb(i, j, rng, &s.measureA)
+			m := &s.measureA
+			if p == 0 {
+				m = nil
+			}
+			if p2 := s.entryProb(j, i, rng, &s.measureB); p2 > p {
+				p, m = p2, &s.measureB
 			}
 			if p > bestP && m != nil {
 				bestP = p
-				best = m
-				best.P = p
+				s.measureBest = *m
+				s.measureBest.P = p
+				best = &s.measureBest
 			}
 		}
 		if best != nil {
@@ -518,43 +650,45 @@ func (s *Selector) selectExploit(fill, need []int, has func(i, j int) bool, pend
 // selectExplore picks the (i, j) minimizing fill[i]+fill[j] that has any
 // possible measurement, capped at one exploration per row per batch and
 // one per entry ever (§3.3.1).
-func (s *Selector) selectExplore(fill, need []int, has func(i, j int) bool, pending map[[2]int]bool, perRow map[int]int, rng *rand.Rand) *Measurement {
+func (s *Selector) selectExplore(fill, need []int, has func(i, j int) bool, pending []bool, perRow []int, rng *rand.Rand) *Measurement {
 	n := len(s.Members)
-	type cand struct{ i, j, sum int }
-	var cands []cand
+	cands := s.candSorter.cands[:0]
 	for i := 0; i < n; i++ {
 		if need[i] <= 0 || perRow[i] >= 1 {
 			continue
 		}
 		for j := i + 1; j < n; j++ {
-			if has(i, j) || pending[[2]int{i, j}] || s.explored[[2]int{i, j}] {
+			if has(i, j) || pending[i*n+j] || s.explored[i*n+j] {
 				continue
 			}
-			cands = append(cands, cand{i, j, fill[i] + fill[j]})
+			cands = append(cands, exploreCand{i, j, fill[i] + fill[j]})
 		}
 	}
+	s.candSorter.cands = cands
 	if len(cands) == 0 {
 		return nil
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].sum != cands[b].sum {
-			return cands[a].sum < cands[b].sum
-		}
-		if cands[a].i != cands[b].i {
-			return cands[a].i < cands[b].i
-		}
-		return cands[a].j < cands[b].j
-	})
+	// The (sum, i, j) comparator is a total order (pairs are unique), so
+	// an unstable sort yields the same permutation sort.Slice did.
+	sort.Sort(&s.candSorter)
 	// Walk candidates in order until one has a feasible measurement,
 	// trying both orientations and keeping the better one.
 	for _, c := range cands {
-		p1, m := s.EntryProb(c.i, c.j, rng)
-		if p2, m2 := s.EntryProb(c.j, c.i, rng); m == nil || (m2 != nil && p2 > p1) {
-			m = m2
+		p1 := s.entryProb(c.i, c.j, rng, &s.measureA)
+		m := &s.measureA
+		if p1 == 0 {
+			m = nil
+		}
+		if p2 := s.entryProb(c.j, c.i, rng, &s.measureB); m == nil || (p2 != 0 && p2 > p1) {
+			if p2 == 0 {
+				m = nil
+			} else {
+				m = &s.measureB
+			}
 		}
 		if m != nil {
 			m.Exploration = true
-			s.explored[[2]int{c.i, c.j}] = true
+			s.explored[c.i*n+c.j] = true
 			perRow[c.i]++
 			perRow[c.j]++
 			return m
@@ -564,16 +698,18 @@ func (s *Selector) selectExplore(fill, need []int, has func(i, j int) bool, pend
 }
 
 // rowsByFill orders member rows that still need entries by increasing fill
-// count, breaking ties randomly (§3.3.1).
-func rowsByFill(fill, need []int, rng *rand.Rand) []int {
-	var rows []int
+// count, breaking ties randomly (§3.3.1). The returned slice is selector
+// scratch, valid until the next call.
+func (s *Selector) rowsByFill(fill, need []int, rng *rand.Rand) []int {
+	rows := s.rowSorter.rows[:0]
 	for i := range fill {
 		if need[i] > 0 {
 			rows = append(rows, i)
 		}
 	}
 	rng.Shuffle(len(rows), func(a, b int) { rows[a], rows[b] = rows[b], rows[a] })
-	sort.SliceStable(rows, func(a, b int) bool { return fill[rows[a]] < fill[rows[b]] })
+	s.rowSorter.rows, s.rowSorter.fill = rows, fill
+	sort.Stable(&s.rowSorter)
 	return rows
 }
 
@@ -590,38 +726,54 @@ func (s *Selector) Report(m Measurement, informative bool) {
 	if informative {
 		s.stratSucc[id]++
 	}
+	n := len(s.Members)
 	i, okI := s.Index[m.LinkI]
 	j, okJ := s.Index[m.LinkJ]
 	if okI && okJ {
-		key := [2]int{i, j}
 		a, b := i, j
 		if a > b {
 			a, b = b, a
 		}
 		if informative {
-			if m := s.penalty[key]; m != nil {
-				delete(m, id)
+			if pens := s.penalty[i*n+j]; pens != nil {
+				pens[id] = 0
 			}
-			delete(s.entryPenalty, [2]int{a, b})
+			s.entryPenalty[a*n+b] = 0
 		} else {
-			m := s.penalty[key]
-			if m == nil {
-				m = map[int]float64{}
-				s.penalty[key] = m
+			pens := s.penalty[i*n+j]
+			if pens == nil {
+				pens = make([]float64, NumStrategies)
+				s.penalty[i*n+j] = pens
 			}
-			m[id] = s.penaltyFor(i, j, id) * 0.5
-			s.entryPenalty[[2]int{a, b}] = s.entryPenaltyFor(i, j) * 0.7
+			pens[id] = s.penaltyFor(i, j, id) * 0.5
+			s.entryPenalty[a*n+b] = s.entryPenaltyFor(i, j) * 0.7
 		}
 	}
-	c := s.vpScore[vpAS{m.VP, m.LinkI}]
-	if c == nil {
-		c = &counter{}
-		s.vpScore[vpAS{m.VP, m.LinkI}] = c
+	if okI {
+		scores := s.vpScore[i]
+		if scores == nil {
+			scores = make([]counter, len(s.vps))
+			s.vpScore[i] = scores
+		}
+		if vi, ok := s.vpIndexOf(m.VP); ok {
+			scores[vi].total++
+			if informative {
+				scores[vi].good++
+			}
+		}
 	}
-	c.total++
-	if informative {
-		c.good++
+}
+
+// vpIndexOf resolves a VP value back to its index in s.vps.
+func (s *Selector) vpIndexOf(vp VP) (int32, bool) {
+	if s.vpIndex == nil {
+		s.vpIndex = make(map[VP]int32, len(s.vps))
+		for i, v := range s.vps {
+			s.vpIndex[v] = int32(i)
+		}
 	}
+	vi, ok := s.vpIndex[vp]
+	return vi, ok
 }
 
 // PoolPriors averages strategy rates from several metros into a single

@@ -68,19 +68,56 @@ func TestStrategyIDRoundTrip(t *testing.T) {
 	}
 }
 
+// catVPs and catTgts look up one category's pool in the dense sorted
+// category lists (test convenience; missing key = empty pool).
+func catVPs(cats []vpCat, key int) []VP {
+	for i := range cats {
+		if cats[i].key == key {
+			return cats[i].vps
+		}
+	}
+	return nil
+}
+
+func catTgts(cats []tgtCat, key int) []Target {
+	for i := range cats {
+		if cats[i].key == key {
+			return cats[i].tgts
+		}
+	}
+	return nil
+}
+
 func TestVPCategorization(t *testing.T) {
 	s := newTestSelector()
-	// AS 1 hosts a VP in the metro: category (SameMetro, VPInAS).
-	cats := s.vpCategories(1)
+	// AS 1 (row 0) hosts a VP in the metro: category (SameMetro, VPInAS).
+	cats := s.vpCategories(s.Index[1])
 	key := int(asgraph.SameMetro)*int(numVPTopo) + int(VPInAS)
-	if len(cats[key]) != 1 || cats[key][0].AS != 1 {
-		t.Fatalf("cats[%d] = %+v", key, cats[key])
+	if got := catVPs(cats, key); len(got) != 1 || got[0].AS != 1 {
+		t.Fatalf("cats[%d] = %+v", key, got)
 	}
 	// VP in AS 0 (provider, not in cone of 1) at NYC: different continents
 	// NL vs US ⇒ Elsewhere, VPOutside.
 	key2 := int(asgraph.Elsewhere)*int(numVPTopo) + int(VPOutside)
-	if len(cats[key2]) != 1 || cats[key2][0].AS != 0 {
-		t.Fatalf("cats[%d] = %+v", key2, cats[key2])
+	if got := catVPs(cats, key2); len(got) != 1 || got[0].AS != 0 {
+		t.Fatalf("cats[%d] = %+v", key2, got)
+	}
+	// Category keys come back sorted (the selection loops rely on it).
+	for i := 1; i < len(cats); i++ {
+		if cats[i-1].key >= cats[i].key {
+			t.Fatalf("category keys not sorted: %+v", cats)
+		}
+	}
+	// Parallel index slices point back into s.vps.
+	for _, c := range cats {
+		if len(c.idxs) != len(c.vps) {
+			t.Fatalf("idxs/vps length mismatch: %+v", c)
+		}
+		for k := range c.vps {
+			if s.vps[c.idxs[k]] != c.vps[k] {
+				t.Fatalf("idx %d does not resolve to %+v", c.idxs[k], c.vps[k])
+			}
+		}
 	}
 }
 
@@ -88,27 +125,27 @@ func TestVPInConeCategory(t *testing.T) {
 	s := newTestSelector()
 	// For AS 0's row... AS 0 is not a member; use member 3 and check VP
 	// in AS 3: in-AS; probe of AS 1 relative to AS 3: outside.
-	cats := s.vpCategories(3)
+	cats := s.vpCategories(s.Index[3])
 	key := int(asgraph.SameCountry)*int(numVPTopo) + int(VPInAS)
-	if len(cats[key]) != 1 || cats[key][0].AS != 3 {
+	if got := catVPs(cats, key); len(got) != 1 || got[0].AS != 3 {
 		t.Fatalf("in-AS same-country VP miscategorized: %+v", cats)
 	}
 }
 
 func TestTargetsForIncludesIXPAdjacent(t *testing.T) {
 	s := newTestSelector()
-	tc := s.targetsFor(2) // AS 2 is on AMS-IX
+	tc := s.targetsFor(s.Index[2]) // AS 2 is on AMS-IX
 	keyAdj := int(asgraph.SameMetro)*int(numTgtTopo) + int(TgtAdjIXP)
-	if len(tc[keyAdj]) == 0 {
+	if len(catTgts(tc, keyAdj)) == 0 {
 		t.Fatalf("AdjIXP targets missing: %+v", tc)
 	}
 	keyIn := int(asgraph.SameMetro)*int(numTgtTopo) + int(TgtInAS)
-	if len(tc[keyIn]) == 0 {
+	if len(catTgts(tc, keyIn)) == 0 {
 		t.Fatalf("in-AS targets missing")
 	}
 	// AS 4 is not on an IXP: no AdjIXP targets.
-	tc4 := s.targetsFor(4)
-	if len(tc4[keyAdj]) != 0 {
+	tc4 := s.targetsFor(s.Index[4])
+	if len(catTgts(tc4, keyAdj)) != 0 {
 		t.Fatalf("AS 4 should have no AdjIXP targets")
 	}
 }
@@ -116,9 +153,9 @@ func TestTargetsForIncludesIXPAdjacent(t *testing.T) {
 func TestTargetsRespectHitlist(t *testing.T) {
 	g := probeGraph()
 	s := NewSelector(g, 0, []int{1, 2}, []VP{{AS: 1, Metro: 0}}, []int{1}) // only AS 1 probe-able
-	tc := s.targetsFor(2)
-	for _, tgts := range tc {
-		for _, tg := range tgts {
+	tc := s.targetsFor(s.Index[2])
+	for _, cat := range tc {
+		for _, tg := range cat.tgts {
 			if tg.AS == 2 {
 				t.Fatalf("target in AS 2 despite missing from hitlist")
 			}
@@ -173,11 +210,11 @@ func TestPenaltyLowersEntryProb(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	p0, m := s.EntryProb(0, 1, rng)
 	// Penalize every strategy for the entry to force the drop.
-	pens := map[int]float64{}
-	for id := 0; id < NumStrategies; id++ {
+	pens := make([]float64, NumStrategies)
+	for id := range pens {
 		pens[id] = 0.25
 	}
-	s.penalty[[2]int{0, 1}] = pens
+	s.penalty[0*len(s.Members)+1] = pens
 	p1, _ := s.EntryProb(0, 1, rng)
 	if p1 >= p0 {
 		t.Fatalf("penalty should lower P: %v -> %v", p0, p1)
@@ -290,12 +327,24 @@ func TestPickVPBiasedByScore(t *testing.T) {
 	s := newTestSelector()
 	rng := rand.New(rand.NewSource(7))
 	vps := []VP{{AS: 1, Metro: 0}, {AS: 3, Metro: 1}}
-	// Give VP (1,0) a perfect score for AS 1 and VP (3,1) a terrible one.
-	s.vpScore[vpAS{vps[0], 1}] = &counter{good: 10, total: 10}
-	s.vpScore[vpAS{vps[1], 1}] = &counter{good: 0, total: 10}
+	idxs := make([]int32, len(vps))
+	for k, vp := range vps {
+		vi, ok := s.vpIndexOf(vp)
+		if !ok {
+			t.Fatalf("test VP %+v not in selector vps", vp)
+		}
+		idxs[k] = vi
+	}
+	// Give VP (1,0) a perfect score for member AS 1 (row 0) and VP (3,1) a
+	// terrible one.
+	row := s.Index[1]
+	scores := make([]counter, len(s.vps))
+	scores[idxs[0]] = counter{good: 10, total: 10}
+	scores[idxs[1]] = counter{good: 0, total: 10}
+	s.vpScore[row] = scores
 	wins := 0
 	for k := 0; k < 1000; k++ {
-		if s.pickVP(vps, 1, rng) == vps[0] {
+		if s.pickVP(vps, idxs, row, rng) == vps[0] {
 			wins++
 		}
 	}

@@ -150,6 +150,8 @@ func Estimate(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, topUp TopUpFu
 	var prob *als.Problem
 	var ov *mat.Overlay
 	var warm *als.Factors // factors carried from the previous rank
+	var hsc holdoutScratch
+	need := make([]int, n)
 
 	res := Result{Rank: 1, BestMSE: math.Inf(1)}
 	bad := 0
@@ -159,7 +161,9 @@ func Estimate(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, topUp TopUpFu
 		}
 		// Targeted measurements: bring every deficient row up to r
 		// observed entries.
-		need := make([]int, n)
+		for i := range need {
+			need[i] = 0
+		}
 		total := 0
 		for i := 0; i < n; i++ {
 			if d := r - mask.RowCount(i); d > 0 {
@@ -212,7 +216,7 @@ func Estimate(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, topUp TopUpFu
 		var se float64
 		cnt := 0
 		for d := 0; d < draws; d++ {
-			holdout := sampleHoldout(mask, cfg.HoldoutPerRow, rng)
+			holdout := sampleHoldout(mask, cfg.HoldoutPerRow, rng, &hsc)
 			ov.Reset()
 			for _, h := range holdout {
 				ov.Remove(h[0], h[1])
@@ -254,14 +258,31 @@ func Estimate(E *mat.Matrix, mask *mat.Mask, features *mat.Matrix, topUp TopUpFu
 	return res
 }
 
+// holdoutScratch carries sampleHoldout's working storage across draws: the
+// result buffer, a dense taken-marks table (cleared incrementally from the
+// previous draw's picks), and the shuffled row-entries buffer.
+type holdoutScratch struct {
+	out     [][2]int
+	taken   []bool // n*n, marks unordered pairs at a*n+b with a <= b
+	entries []int
+}
+
 // sampleHoldout picks up to k observed off-diagonal entries per row without
-// emptying any row.
-func sampleHoldout(mask *mat.Mask, k int, rng *rand.Rand) [][2]int {
+// emptying any row. The returned slice is scratch owned by sc, valid until
+// the next call.
+func sampleHoldout(mask *mat.Mask, k int, rng *rand.Rand, sc *holdoutScratch) [][2]int {
 	n := mask.N()
-	var out [][2]int
-	taken := map[[2]int]bool{}
+	if sc.taken == nil {
+		sc.taken = make([]bool, n*n)
+	}
+	// Clear only the marks the previous draw set.
+	for _, h := range sc.out {
+		sc.taken[h[0]*n+h[1]] = false
+	}
+	out := sc.out[:0]
 	for i := 0; i < n; i++ {
-		entries := mask.RowEntries(i)
+		entries := mask.AppendRowEntries(sc.entries[:0], i)
+		sc.entries = entries
 		if len(entries) <= k {
 			continue // keep sparse rows intact
 		}
@@ -278,13 +299,14 @@ func sampleHoldout(mask *mat.Mask, k int, rng *rand.Rand) [][2]int {
 			if a > b {
 				a, b = b, a
 			}
-			if taken[[2]int{a, b}] {
+			if sc.taken[a*n+b] {
 				continue
 			}
-			taken[[2]int{a, b}] = true
+			sc.taken[a*n+b] = true
 			out = append(out, [2]int{a, b})
 			picked++
 		}
 	}
+	sc.out = out
 	return out
 }

@@ -173,7 +173,7 @@ func TestSampleHoldoutProperties(t *testing.T) {
 		}
 	}
 	before := mask.Count()
-	hold := sampleHoldout(mask, 3, rng)
+	hold := sampleHoldout(mask, 3, rng, &holdoutScratch{})
 	if mask.Count() != before {
 		t.Fatalf("sampleHoldout must not mutate the mask")
 	}
@@ -193,7 +193,7 @@ func TestSampleHoldoutProperties(t *testing.T) {
 	// Sparse rows (<= k entries) are never drained: remove-and-check.
 	sparse := mat.NewMask(5)
 	sparse.Set(0, 1)
-	if got := sampleHoldout(sparse, 3, rng); len(got) != 0 {
+	if got := sampleHoldout(sparse, 3, rng, &holdoutScratch{}); len(got) != 0 {
 		t.Fatalf("sparse rows should be spared, got %v", got)
 	}
 }

@@ -33,7 +33,7 @@ func TestHoldoutSetAsideEitherEndpoint(t *testing.T) {
 		r := round + 1
 		wantEither, wantBoth := 0, 0
 		for d := 0; d < cfg.HoldoutDraws; d++ {
-			holdout := sampleHoldout(w.mask, cfg.HoldoutPerRow, rng)
+			holdout := sampleHoldout(w.mask, cfg.HoldoutPerRow, rng, &holdoutScratch{})
 			ov.Reset()
 			for _, h := range holdout {
 				ov.Remove(h[0], h[1])

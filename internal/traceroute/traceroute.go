@@ -11,6 +11,7 @@ package traceroute
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
 
 	"metascritic/internal/asgraph"
@@ -57,6 +58,19 @@ type Engine struct {
 
 // Issued returns the number of traceroutes run so far.
 func (e *Engine) Issued() int { return int(e.issued.Load()) }
+
+// traceScratch holds one traceroute's working buffers: the best-path walk,
+// the provider-detour walk and its spliced result, and the hop
+// accumulator. RunTarget builds hops here and copies them out exact-size,
+// since callers (the evidence log) retain Trace.Hops indefinitely; the
+// path buffers never escape. Pooled because the Engine is shared by
+// concurrent metro runs.
+type traceScratch struct {
+	path, alt, det []int
+	hops           []Hop
+}
+
+var tracePool = sync.Pool{New: func() any { return new(traceScratch) }}
 
 // NewEngine builds an engine over w with a fresh registry and route cache.
 func NewEngine(w *netsim.World) *Engine {
@@ -105,28 +119,35 @@ func (e *Engine) RunTarget(vpAS, vpMetro, dstAS, dstMetro int) Trace {
 		return tr
 	}
 	routes := e.Cache.RoutesTo(dstAS)
-	path := routes.PathFrom(vpAS)
-	if path == nil {
+	sc := tracePool.Get().(*traceScratch)
+	defer tracePool.Put(sc)
+	sc.path = routes.AppendPathFrom(sc.path[:0], vpAS)
+	path := sc.path
+	if len(path) == 0 {
 		return tr // no route: empty traceroute
 	}
-	path = e.maybeDetour(path, routes, flow)
+	path = e.maybeDetour(path, routes, flow, sc)
 	cur := vpMetro
+	hops := sc.hops[:0]
 	// First hop: inside the VP's AS at its own metro.
-	tr.Hops = append(tr.Hops, e.hop(e.Reg.InterfaceFor(vpAS, cur), flow))
+	hops = append(hops, e.hop(e.Reg.InterfaceFor(vpAS, cur), flow))
 	for i := 0; i+1 < len(path); i++ {
 		x, y := path[i], path[i+1]
 		m := e.crossingMetro(x, y, flow, cur)
 		// Egress border of x at the crossing metro (if it differs from
 		// where we currently are inside x, the packet moved intradomain).
 		if m != cur {
-			tr.Hops = append(tr.Hops, e.hop(e.Reg.InterfaceFor(x, m), flow))
+			hops = append(hops, e.hop(e.Reg.InterfaceFor(x, m), flow))
 		}
 		// Ingress of y: an IXP LAN address when the crossing rides a
 		// shared IXP fabric at m, else y's interface at m.
 		in := e.ingressAddr(x, y, m, flow)
-		tr.Hops = append(tr.Hops, e.hop(in, flow))
+		hops = append(hops, e.hop(in, flow))
 		cur = m
 	}
+	sc.hops = hops
+	tr.Hops = make([]Hop, len(hops))
+	copy(tr.Hops, hops)
 	tr.Reached = e.W.Responsive[dstAS]
 	if !tr.Reached && len(tr.Hops) > 0 {
 		// The destination network swallows probes: its final hop is lost.
@@ -152,7 +173,10 @@ const DetourRate = 0.25
 // maybeDetour rewrites the first hop of a path for inconsistent source
 // ASes: with probability DetourRate per flow, a peer-link first hop is
 // replaced by a provider detour (when the provider has a loop-free route).
-func (e *Engine) maybeDetour(path []int, routes bgp.Routes, flow int) []int {
+// With a non-nil scratch the detour is built in sc.det (valid until the
+// next use of sc); with nil it is freshly allocated for callers that
+// return it (EffectivePath).
+func (e *Engine) maybeDetour(path []int, routes bgp.Routes, flow int, sc *traceScratch) []int {
 	if len(path) < 2 {
 		return path
 	}
@@ -171,14 +195,24 @@ func (e *Engine) maybeDetour(path []int, routes bgp.Routes, flow int) []int {
 		return path
 	}
 	p := provs[int(ipmap.Hash3(flow, x, 0x11))%len(provs)]
-	alt := routes.PathFrom(p)
-	if alt == nil {
+	var alt []int
+	if sc != nil {
+		sc.alt = routes.AppendPathFrom(sc.alt[:0], p)
+		alt = sc.alt
+	} else {
+		alt = routes.PathFrom(p)
+	}
+	if len(alt) == 0 {
 		return path
 	}
 	for _, as := range alt {
 		if as == x {
 			return path // provider routes back through us: no detour
 		}
+	}
+	if sc != nil {
+		sc.det = append(append(sc.det[:0], x), alt...)
+		return sc.det
 	}
 	return append([]int{x}, alt...)
 }
@@ -269,7 +303,7 @@ func (e *Engine) EffectivePath(src, dst, dstMetro int) []int {
 	if path == nil {
 		return nil
 	}
-	return e.maybeDetour(path, routes, dst*97+dstMetro)
+	return e.maybeDetour(path, routes, dst*97+dstMetro, nil)
 }
 
 // CrossingOf exposes the engine's crossing decision for ground-truth

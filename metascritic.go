@@ -127,11 +127,76 @@ type PhaseTimings struct {
 	// pipeline (batches, launched/committed/discarded traceroutes,
 	// prefetched routes). Its wall-clock is a subset of Bootstrap+RankLoop.
 	Measure MeasureStats
+	// Allocs counts heap allocations attributed to each phase, sampled as
+	// runtime.ReadMemStats deltas at the same boundaries as the wall-clock
+	// fields. The runtime counter is process-global, so in a concurrent
+	// batch a phase's count includes whatever other goroutines allocated
+	// meanwhile — read it from single-run (or Workers=1) sessions when
+	// attributing allocations precisely.
+	Allocs PhaseAllocs
+}
+
+// PhaseAllocs breaks a run's heap allocation count down by phase,
+// mirroring the wall-clock fields of PhaseTimings.
+type PhaseAllocs struct {
+	Bootstrap  uint64
+	RankLoop   uint64
+	Completion uint64
+	Threshold  uint64
+}
+
+// Total returns the summed phase allocation count.
+func (a PhaseAllocs) Total() uint64 {
+	return a.Bootstrap + a.RankLoop + a.Completion + a.Threshold
 }
 
 // Total returns the summed phase wall-clock.
 func (t PhaseTimings) Total() time.Duration {
 	return t.Bootstrap + t.RankLoop + t.Completion + t.Threshold
+}
+
+// Add accumulates another run's timings into t: phase wall-clocks and
+// allocation counters sum, and the measurement statistics merge. It is
+// how the engine aggregates per-metro phases into batch-level stats.
+func (t *PhaseTimings) Add(o PhaseTimings) {
+	t.Bootstrap += o.Bootstrap
+	t.RankLoop += o.RankLoop
+	t.Completion += o.Completion
+	t.Threshold += o.Threshold
+	t.Estimate += o.Estimate
+	t.Measure.Merge(o.Measure)
+	t.Allocs.Bootstrap += o.Allocs.Bootstrap
+	t.Allocs.RankLoop += o.Allocs.RankLoop
+	t.Allocs.Completion += o.Allocs.Completion
+	t.Allocs.Threshold += o.Allocs.Threshold
+}
+
+// PhaseShare is one row of a phase-attribution breakdown: where a run's
+// (or a batch's) wall-clock and allocations went.
+type PhaseShare struct {
+	Phase  string
+	Wall   time.Duration
+	Frac   float64 // Wall / Total, 0 when Total is 0
+	Allocs uint64
+}
+
+// Breakdown returns the per-phase attribution table (bootstrap, rank
+// loop, completion, threshold — the disjoint phases that sum to Total),
+// for profiling output and the engine's batch reports.
+func (t PhaseTimings) Breakdown() []PhaseShare {
+	total := t.Total()
+	frac := func(d time.Duration) float64 {
+		if total <= 0 {
+			return 0
+		}
+		return float64(d) / float64(total)
+	}
+	return []PhaseShare{
+		{Phase: "bootstrap", Wall: t.Bootstrap, Frac: frac(t.Bootstrap), Allocs: t.Allocs.Bootstrap},
+		{Phase: "rank-loop", Wall: t.RankLoop, Frac: frac(t.RankLoop), Allocs: t.Allocs.RankLoop},
+		{Phase: "completion", Wall: t.Completion, Frac: frac(t.Completion), Allocs: t.Allocs.Completion},
+		{Phase: "threshold", Wall: t.Threshold, Frac: frac(t.Threshold), Allocs: t.Allocs.Threshold},
+	}
 }
 
 // Result is the output of running metAScritic on one metro.

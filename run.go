@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"metascritic/internal/als"
@@ -27,7 +28,11 @@ func abortErr(metro int, phase string, cause error) error {
 // Run executes the full metAScritic loop (Fig. 2) on one metro. The config
 // is validated up front; ctx cancellation is checked between measurements
 // and between estimation rounds, so an abort takes effect promptly and
-// returns an error wrapping ErrCanceled (and the context's cause).
+// returns an error wrapping ErrCanceled (and the context's cause). A
+// cancelled run that got past validation returns its partial *Result
+// alongside the error: the phases that did run keep their wall-clock and
+// allocation telemetry, so batch statistics can attribute the cost of
+// aborted work instead of dropping it.
 //
 // Determinism: a run is a pure function of (world, store contents at
 // entry, metro, cfg) — traceroute simulation is hash-based and the only
@@ -59,6 +64,22 @@ func (p *Pipeline) Run(ctx context.Context, metro int, cfg Config) (*Result, err
 	}
 
 	res := &Result{Metro: metro, Members: members}
+
+	// Phase-attribution counters: heap allocations are sampled at the
+	// same boundaries as the wall-clock phases (5 ReadMemStats calls per
+	// run — negligible next to a phase). See PhaseTimings.Allocs for the
+	// process-global caveat.
+	var memStats runtime.MemStats
+	mallocs := func() uint64 {
+		runtime.ReadMemStats(&memStats)
+		return memStats.Mallocs
+	}
+	allocMark := mallocs()
+	allocPhase := func(counter *uint64) {
+		now := mallocs()
+		*counter += now - allocMark
+		allocMark = now
+	}
 
 	// Working estimate; delta-refreshed in place as measurements land
 	// (obs.Store.Refresh re-derives only the pairs the new traces
@@ -112,10 +133,17 @@ func (p *Pipeline) Run(ctx context.Context, metro int, cfg Config) (*Result, err
 		}
 	}
 	res.Timings.Bootstrap = time.Since(phaseStart)
+	allocPhase(&res.Timings.Allocs.Bootstrap)
 	if err := ctx.Err(); err != nil {
-		return nil, abortErr(metro, "bootstrap", err)
+		return res, abortErr(metro, "bootstrap", err)
 	}
 
+	// target/cur are the topUp closure's round-loop buffers, hoisted so
+	// the dozens of topUp rounds across the whole rank loop share two
+	// allocations (profile-guided; see DESIGN.md §7).
+	target := make([]int, len(members))
+	cur := make([]int, len(members))
+	var fillBuf []int
 	topUp := func(need []int) int {
 		before := est.Mask.Count()
 		// Translate "additional entries" into absolute per-row targets so
@@ -124,15 +152,17 @@ func (p *Pipeline) Run(ctx context.Context, metro int, cfg Config) (*Result, err
 		// holdout size: the rank loop removes HoldoutPerRow entries per
 		// row when scoring, so rows topped to exactly r would drop back
 		// below it.
-		target := make([]int, len(need))
 		for i := range need {
+			target[i] = 0
 			if need[i] > 0 {
 				target[i] = est.Mask.RowCount(i) + need[i] + cfg.Rank.HoldoutPerRow
 			}
 		}
 		stale := 0
 		for round := 0; round < 16 && budget > 0 && ctx.Err() == nil; round++ {
-			cur := make([]int, len(need))
+			for i := range cur {
+				cur[i] = 0
+			}
 			remaining := 0
 			for i := range target {
 				if d := target[i] - est.Mask.RowCount(i); d > 0 {
@@ -148,7 +178,8 @@ func (p *Pipeline) Run(ctx context.Context, metro int, cfg Config) (*Result, err
 				size = budget
 			}
 			countBefore := est.Mask.Count()
-			batch := sel.SelectBatch(size, cfg.Epsilon, est.RowFill(), cur, est.Mask.Has, rng)
+			fillBuf = est.AppendRowFill(fillBuf)
+			batch := sel.SelectBatch(size, cfg.Epsilon, fillBuf, cur, est.Mask.Has, rng)
 			if len(batch) == 0 {
 				break
 			}
@@ -202,11 +233,15 @@ func (p *Pipeline) Run(ctx context.Context, metro int, cfg Config) (*Result, err
 	res.Estimate = est
 	res.StrategyRates = sel.StrategyRates()
 	res.Timings.RankLoop = time.Since(phaseStart)
+	allocPhase(&res.Timings.Allocs.RankLoop)
 	if err := ctx.Err(); err != nil {
-		return nil, abortErr(metro, "rank estimation", err)
+		return res, abortErr(metro, "rank estimation", err)
 	}
 
-	// Final completion at the estimated rank.
+	// Final completion at the estimated rank. The featureless/featured
+	// problem pair is built once and shared across the tune grid, the
+	// final ratings and the λ-search holdout below (holdouts are overlay
+	// deltas, so the problems stay valid throughout).
 	phaseStart = time.Now()
 	opts := als.Options{
 		Rank:          rres.Rank,
@@ -215,24 +250,27 @@ func (p *Pipeline) Run(ctx context.Context, metro int, cfg Config) (*Result, err
 		Iterations:    rcfg.Iterations + 5,
 		Seed:          cfg.Seed,
 	}
+	probNoF := als.NewProblem(est.E, est.Mask, nil)
+	var probF *als.Problem
+	if features != nil && features.Cols > 0 {
+		probF = als.NewProblem(est.E, est.Mask, features)
+	}
 	if cfg.Tune {
-		t := als.Tune(est.E, est.Mask, features, rres.Rank, rng)
+		t := als.TuneWith(probNoF, probF, est.E, est.Mask, rres.Rank, rng)
 		opts.Lambda = t.Lambda
 		opts.FeatureWeight = t.FeatureWeight
 	}
 	res.Lambda = opts.Lambda
 	res.FeatureWeight = opts.FeatureWeight
-	// One completion problem backs both the final ratings and the λ-search
-	// holdout below (the holdout is an overlay, so the problem stays valid).
-	featArg := features
-	if opts.FeatureWeight <= 0 {
-		featArg = nil
+	prob := probNoF
+	if opts.FeatureWeight > 0 && probF != nil {
+		prob = probF
 	}
-	prob := als.NewProblem(est.E, est.Mask, featArg)
 	res.Ratings = prob.Complete(opts, nil)
 	res.Timings.Completion = time.Since(phaseStart)
+	allocPhase(&res.Timings.Allocs.Completion)
 	if err := ctx.Err(); err != nil {
-		return nil, abortErr(metro, "completion", err)
+		return res, abortErr(metro, "completion", err)
 	}
 
 	// λ search: hold out 20% of observed entries, score the completion on
@@ -240,5 +278,6 @@ func (p *Pipeline) Run(ctx context.Context, metro int, cfg Config) (*Result, err
 	phaseStart = time.Now()
 	res.Threshold = p.pickThreshold(est, prob, opts, rng)
 	res.Timings.Threshold = time.Since(phaseStart)
+	allocPhase(&res.Timings.Allocs.Threshold)
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -34,6 +35,55 @@ func TestRunCancelWrapsErrCanceled(t *testing.T) {
 	}
 	if errors.Is(err, ErrInvalidConfig) || errors.Is(err, ErrBudgetExhausted) {
 		t.Fatalf("cancel error matches unrelated sentinels: %v", err)
+	}
+}
+
+// errAfterCtx is a context whose Err flips to context.Canceled after a
+// fixed number of polls — a deterministic mid-run cancellation. Done()
+// (inherited from Background) never fires, which is fine: every blocking
+// point in the run loop checks Err before waiting.
+type errAfterCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func (c *errAfterCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestRunCancelKeepsPartialTimings pins that a cancelled run returns its
+// partial Result alongside the error: the phases that ran keep their
+// wall-clock (and allocation) telemetry instead of being dropped.
+func TestRunCancelKeepsPartialTimings(t *testing.T) {
+	w := smallWorld(35)
+	p := NewPipeline(w)
+	rng := rand.New(rand.NewSource(1))
+	p.SeedPublicMeasurements(5, rng)
+	cfg := DefaultConfig()
+	cfg.BatchSize = 50
+	cfg.MaxMeasurements = 500
+	cfg.Rank.MaxRank = 5
+	cfg.Rank.Iterations = 3
+
+	// Let the entry check and a few bootstrap polls pass, then cancel:
+	// the abort lands at (or inside) the bootstrap phase.
+	ctx := &errAfterCtx{Context: context.Background()}
+	ctx.remaining.Store(4)
+	res, err := p.Snapshot().Run(ctx, 0, cfg)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("mid-run cancel: got %v, want ErrCanceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned a nil partial Result")
+	}
+	if res.Timings.Bootstrap <= 0 {
+		t.Fatalf("partial result lost its bootstrap timing: %+v", res.Timings)
+	}
+	if res.Timings.Allocs.Bootstrap == 0 {
+		t.Fatalf("partial result lost its bootstrap alloc counter: %+v", res.Timings.Allocs)
 	}
 }
 
@@ -104,6 +154,44 @@ func TestDeprecatedWrappersForward(t *testing.T) {
 			t.Fatalf("%s diverged from Run", name)
 		}
 	}
+}
+
+// TestDeprecatedWrapperSentinels pins the error-path contract of the
+// compatibility wrappers: RunMetroContext propagates Run's sentinel
+// errors (including context cancellation) unchanged, and RunMetro panics
+// on the errors a non-cancellable run can produce.
+func TestDeprecatedWrapperSentinels(t *testing.T) {
+	w := smallWorld(36)
+	p := NewPipeline(w)
+
+	// RunMetroContext honors its context: a pre-cancelled run reports
+	// ErrCanceled and the context's own cause.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Snapshot().RunMetroContext(ctx, 0, DefaultConfig()); !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunMetroContext pre-cancelled: got %v, want ErrCanceled and context.Canceled", err)
+	}
+
+	// RunMetroContext propagates validation sentinels.
+	bad := DefaultConfig()
+	bad.BatchSize = 0
+	if _, err := p.Snapshot().RunMetroContext(context.Background(), 0, bad); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("RunMetroContext invalid config: got %v, want ErrInvalidConfig", err)
+	}
+
+	// RunMetro has no error return: it panics on the same failure, naming
+	// itself so the stack points at the deprecated call site.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("RunMetro with an invalid config did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "RunMetro") || !strings.Contains(msg, ErrInvalidConfig.Error()) {
+			t.Fatalf("RunMetro panic message %v does not name the wrapper and the sentinel", r)
+		}
+	}()
+	p.Snapshot().RunMetro(0, bad)
 }
 
 func TestRunErrorMessagesNameTheMetro(t *testing.T) {
