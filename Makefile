@@ -4,9 +4,9 @@ GO ?= go
 # METASCRITIC_BENCH_SCALE, select the completion / rank-sweep / propagation
 # micro-benchmarks, record machine-readable results for later PRs to diff.
 BENCH_SCALE ?= 0.05
-BENCH_PATTERN = BenchmarkComplete|BenchmarkRankEstimate|BenchmarkPropagate$$|BenchmarkPropagateInto|BenchmarkRoutesToAll|BenchmarkVisibleLinks|BenchmarkRunMetro|BenchmarkRunAll|BenchmarkStore|BenchmarkEstimateHandler|BenchmarkSnapshotLoad
-BENCH_PKGS = . ./internal/als ./internal/rank ./internal/bgp ./internal/obs ./internal/api ./internal/api/snapshot ./internal/engine
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_PATTERN = BenchmarkComplete|BenchmarkRankEstimate|BenchmarkPropagate$$|BenchmarkPropagateInto|BenchmarkRoutesToAll|BenchmarkVisibleLinks|BenchmarkRunMetro|BenchmarkRunAll|BenchmarkStore|BenchmarkEstimateHandler|BenchmarkSnapshotLoad|BenchmarkGenerate
+BENCH_PKGS = . ./internal/als ./internal/rank ./internal/bgp ./internal/obs ./internal/api ./internal/api/snapshot ./internal/engine ./internal/netsim
+BENCH_OUT ?= BENCH_PR8.json
 BENCH_BASELINE ?=
 # The most recent recorded report other than BENCH_OUT becomes the
 # default baseline, so every new report carries before/after deltas
@@ -14,7 +14,7 @@ BENCH_BASELINE ?=
 BENCH_PREV = $(lastword $(sort $(filter-out $(BENCH_OUT),$(wildcard BENCH_PR*.json))))
 PROFILE_DIR ?= profiles
 
-.PHONY: build test check bench bench-engine bench-compare profile race-run race-measure race-obs race-bgp race-api clean
+.PHONY: build test check bench bench-engine bench-compare profile race-run race-measure race-obs race-bgp race-api race-netsim clean
 
 build:
 	$(GO) build ./...
@@ -98,6 +98,12 @@ race-bgp:
 # coalescing/limiting, and the run manager's drain/cancel paths.
 race-api:
 	$(GO) test -race ./internal/api/... ./internal/engine/ ./cmd/metascriticd/
+
+# race-netsim exercises the parallel world-generation path (metro-bucketed
+# candidate enumeration over the worker pool) under the race detector,
+# including the worker-count invariance test at several pool sizes.
+race-netsim:
+	$(GO) test -race ./internal/netsim/ ./internal/asgraph/ ./internal/graphmetrics/
 
 clean:
 	$(GO) clean ./...

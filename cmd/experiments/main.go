@@ -21,6 +21,7 @@ import (
 
 	"metascritic/experiments"
 	"metascritic/internal/cliflags"
+	"metascritic/internal/graphmetrics"
 	"metascritic/internal/report"
 )
 
@@ -66,8 +67,9 @@ func run() error {
 	h := experiments.NewHarness(experiments.Options{
 		Scale: *scale, Seed: *seed, Budget: *budget,
 	})
-	fmt.Printf("world ready in %v: %d ASes, %d probes\n\n", time.Since(start).Round(time.Millisecond),
+	fmt.Printf("world ready in %v: %d ASes, %d probes\n", time.Since(start).Round(time.Millisecond),
 		h.W.G.N(), len(h.W.Probes))
+	fmt.Printf("world realism report:\n%s\n", graphmetrics.FromGraph(h.W.G))
 
 	if *workers > 1 {
 		fmt.Printf("warming the metro cache on %d workers...\n", *workers)

@@ -3,19 +3,29 @@
 // ground-truth link set (for debugging and for use as a fixture by other
 // tools).
 //
+// The dump is streamed per record (one json.Encoder write per AS / metro
+// / link) so a 100k-AS world with hundreds of thousands of truth links
+// never materializes in memory. -report prints the structural realism
+// report (degree distribution + power-law fit, clustering, k-cores,
+// assortativity) to stderr.
+//
 // Usage:
 //
-//	worldgen [-scale 0.2] [-seed 1] [-truth] [-o world.json]
+//	worldgen [-scale 0.2 | -ases 100000] [-seed 1] [-truth] [-report] [-o world.json]
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"metascritic/internal/asgraph"
 	"metascritic/internal/cliflags"
+	"metascritic/internal/graphmetrics"
+	"metascritic/internal/netsim"
 )
 
 type jsonAS struct {
@@ -44,13 +54,6 @@ type jsonLink struct {
 	Metros []string `json:"metros"`
 }
 
-type jsonWorld struct {
-	Seed   int64       `json:"seed"`
-	ASes   []jsonAS    `json:"ases"`
-	Metros []jsonMetro `json:"metros"`
-	Truth  []jsonLink  `json:"truth_links,omitempty"`
-}
-
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "worldgen:", err)
@@ -60,6 +63,7 @@ func main() {
 
 func run() error {
 	truth := flag.Bool("truth", false, "include ground-truth links (large)")
+	report := flag.Bool("report", false, "print the graph-realism report to stderr")
 	out := flag.String("o", "-", "output file ('-' for stdout)")
 	wf := cliflags.World{Scale: 0.2, Seed: 1}
 	var prof cliflags.Profile
@@ -76,45 +80,8 @@ func run() error {
 	w := wf.Generate()
 	g := w.G
 
-	metroName := func(m int) string { return g.Metros[m].Name }
-	doc := jsonWorld{Seed: wf.Seed}
-	for _, a := range g.ASes {
-		ja := jsonAS{
-			ASN:      a.ASN,
-			Class:    a.Class.String(),
-			Policy:   a.Policy.String(),
-			Traffic:  a.Traffic.String(),
-			Eyeballs: a.Eyeballs,
-			Country:  g.Countries[a.Country].Code,
-			Probe:    w.HasProbe(a.Index),
-		}
-		for _, m := range a.Metros {
-			ja.Metros = append(ja.Metros, metroName(m))
-		}
-		for _, ix := range a.IXPs {
-			ja.IXPs = append(ja.IXPs, g.IXPs[ix].Name)
-		}
-		doc.ASes = append(doc.ASes, ja)
-	}
-	for _, m := range g.Metros {
-		jm := jsonMetro{Name: m.Name, Country: g.Countries[m.Country].Code, Members: len(m.Members)}
-		for _, ix := range m.IXPs {
-			jm.IXPs = append(jm.IXPs, g.IXPs[ix].Name)
-		}
-		doc.Metros = append(doc.Metros, jm)
-	}
-	if *truth {
-		for pr, metros := range w.LinkMetros {
-			rel := "p2p"
-			if r, _ := w.RelOf(pr.A, pr.B); r == asgraph.C2P {
-				rel = "c2p"
-			}
-			jl := jsonLink{ASNA: g.ASes[pr.A].ASN, ASNB: g.ASes[pr.B].ASN, Rel: rel}
-			for _, m := range metros {
-				jl.Metros = append(jl.Metros, metroName(m))
-			}
-			doc.Truth = append(doc.Truth, jl)
-		}
+	if *report {
+		fmt.Fprint(os.Stderr, graphmetrics.FromGraph(g).String())
 	}
 
 	dst := os.Stdout
@@ -126,10 +93,97 @@ func run() error {
 		defer f.Close()
 		dst = f
 	}
-	enc := json.NewEncoder(dst)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		return fmt.Errorf("encode world JSON: %w", err)
+	bw := bufio.NewWriterSize(dst, 1<<20)
+	if err := stream(bw, w, wf.Seed, *truth); err != nil {
+		return err
 	}
+	return bw.Flush()
+}
+
+// stream writes the world as one JSON object, emitting each array element
+// with its own encoder write so no per-world slice of records is ever
+// built. The output is equivalent to marshaling a single document with
+// fields seed, ases, metros and (optionally) truth_links.
+func stream(bw *bufio.Writer, w *netsim.World, seed int64, truth bool) error {
+	g := w.G
+	metroName := func(m int) string { return g.Metros[m].Name }
+	enc := json.NewEncoder(bw)
+
+	writeSep := func(first bool) {
+		if !first {
+			bw.WriteString(",")
+		}
+	}
+
+	fmt.Fprintf(bw, "{\"seed\":%d,\"ases\":[", seed)
+	for i := range g.ASes {
+		a := &g.ASes[i]
+		ja := jsonAS{
+			ASN:      a.ASN,
+			Class:    a.Class.String(),
+			Policy:   a.Policy.String(),
+			Traffic:  a.Traffic.String(),
+			Eyeballs: a.Eyeballs,
+			Country:  g.Countries[a.Country].Code,
+			Probe:    w.HasProbe(i),
+		}
+		for _, m := range a.Metros {
+			ja.Metros = append(ja.Metros, metroName(m))
+		}
+		for _, ix := range a.IXPs {
+			ja.IXPs = append(ja.IXPs, g.IXPs[ix].Name)
+		}
+		writeSep(i == 0)
+		if err := enc.Encode(ja); err != nil {
+			return fmt.Errorf("encode AS %d: %w", a.ASN, err)
+		}
+	}
+	bw.WriteString("],\"metros\":[")
+	for mi, m := range g.Metros {
+		jm := jsonMetro{Name: m.Name, Country: g.Countries[m.Country].Code, Members: len(m.Members)}
+		for _, ix := range m.IXPs {
+			jm.IXPs = append(jm.IXPs, g.IXPs[ix].Name)
+		}
+		writeSep(mi == 0)
+		if err := enc.Encode(jm); err != nil {
+			return fmt.Errorf("encode metro %s: %w", m.Name, err)
+		}
+	}
+	bw.WriteString("]")
+	if truth {
+		// Sort the link pairs so the dump is deterministic (map order is
+		// not), then stream each link straight from the map entry.
+		pairs := make([]netsim.Pair, 0, len(w.LinkMetros))
+		for pr := range w.LinkMetros {
+			pairs = append(pairs, pr)
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].A != pairs[j].A {
+				return pairs[i].A < pairs[j].A
+			}
+			return pairs[i].B < pairs[j].B
+		})
+		bw.WriteString(",\"truth_links\":[")
+		jl := jsonLink{}
+		for i, pr := range pairs {
+			rel := "p2p"
+			if r, _ := w.RelOf(pr.A, pr.B); r == asgraph.C2P {
+				rel = "c2p"
+			}
+			jl.ASNA = g.ASes[pr.A].ASN
+			jl.ASNB = g.ASes[pr.B].ASN
+			jl.Rel = rel
+			jl.Metros = jl.Metros[:0]
+			for _, m := range w.LinkMetros[pr] {
+				jl.Metros = append(jl.Metros, metroName(m))
+			}
+			writeSep(i == 0)
+			if err := enc.Encode(jl); err != nil {
+				return fmt.Errorf("encode link %d-%d: %w", jl.ASNA, jl.ASNB, err)
+			}
+		}
+		bw.WriteString("]")
+	}
+	bw.WriteString("}\n")
 	return nil
 }

@@ -3,10 +3,17 @@
 // their business relationships (customer-to-provider and peer-to-peer),
 // customer cones, and the geographic hierarchy of metros, countries and
 // continents, including IXPs and their route servers.
+//
+// The graph is built for Internet scale (~100k ASes, ~500k links): ASes
+// are stored by value in one flat slice, adjacency lists use int32
+// indices and can be repacked into exactly-sized single backing arrays
+// (Compact), and footprint / IXP / route-server membership are multi-word
+// bitsets so colocation tests are O(metros/64) instead of linear scans.
 package asgraph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 )
@@ -78,7 +85,9 @@ func (t TrafficProfile) String() string {
 }
 
 // AS is one autonomous system with the publicly-observable features the
-// recommender uses (Fig. 1, Appx. C).
+// recommender uses (Fig. 1, Appx. C). ASes are stored by value inside
+// Graph.ASes; read them by index (or take &g.ASes[i] to mutate during
+// construction).
 type AS struct {
 	Index   int // position in Graph.ASes
 	ASN     int
@@ -91,27 +100,66 @@ type AS struct {
 	AddrSpace int
 	Country   int // index into Graph.Countries
 	// Metros lists the metro indices where the AS has physical presence
-	// (its iGDB-style footprint).
+	// (its iGDB-style footprint), sorted ascending.
 	Metros []int
 	// IXPs lists the IXP indices the AS is a member of.
 	IXPs []int
-	// RouteServer marks, per IXP index, membership in that IXP's route
-	// server (multilateral peering).
-	RouteServer map[int]bool
 	// ConsistentRouting reports whether the AS uses the same
 	// interconnection type toward a given AS everywhere (§3.4). CDNs,
 	// cloud providers and large transits are typically inconsistent.
 	ConsistentRouting bool
+
+	// foot mirrors Metros as a bitset; built by Graph.AddAS (and rebuilt
+	// by Compact) so HasMetro and colocation tests are O(1)-ish.
+	foot Bitset
+	// ixf mirrors IXPs as a bitset (maintained by SetIXPs/Compact).
+	ixf Bitset
+	// rs marks, per IXP index, membership in that IXP's route server
+	// (multilateral peering). Maintained via SetRouteServer.
+	rs Bitset
 }
 
-// HasMetro reports whether the AS has presence in metro m.
+// HasMetro reports whether the AS has presence in metro m. When the
+// footprint bitset is available (every AS added through Graph.AddAS) this
+// is a single word test; otherwise it falls back to scanning Metros.
 func (a *AS) HasMetro(m int) bool {
+	if a.foot != nil {
+		return a.foot.Has(m)
+	}
 	for _, mm := range a.Metros {
 		if mm == m {
 			return true
 		}
 	}
 	return false
+}
+
+// Footprint exposes the AS's metro bitset (nil until the AS is added to a
+// graph). Callers must not mutate it.
+func (a *AS) Footprint() Bitset { return a.foot }
+
+// SetRouteServer records (or clears) the AS's membership in IXP ix's
+// route server.
+func (a *AS) SetRouteServer(ix int, on bool) {
+	if on {
+		a.rs.Set(ix)
+	} else if a.rs.Has(ix) {
+		a.rs[ix>>6] &^= 1 << uint(ix&63)
+	}
+}
+
+// OnRouteServer reports whether the AS participates in IXP ix's route
+// server.
+func (a *AS) OnRouteServer(ix int) bool { return a.rs.Has(ix) }
+
+// RouteServerSet exposes the route-server membership bitset (may be nil).
+// Callers must not mutate it.
+func (a *AS) RouteServerSet() Bitset { return a.rs }
+
+// AddIXP appends IXP ix to the AS's membership list and bitset.
+func (a *AS) AddIXP(ix int) {
+	a.IXPs = append(a.IXPs, ix)
+	a.ixf.Set(ix)
 }
 
 // Country is a country with its continent.
@@ -153,8 +201,13 @@ const (
 // hierarchy and AS-level peering adjacency. Per-metro peering ground truth
 // lives in netsim (it is matrix-shaped); the Graph's Peers adjacency is the
 // union over metros, which is what BGP propagation operates on.
+//
+// Adjacency lists preserve insertion order (routing tie-breaks observe
+// it). After construction, Compact repacks every adjacency list, Metros
+// and IXPs slice into exactly-sized single backing arrays, dropping the
+// append slack of incremental construction.
 type Graph struct {
-	ASes       []*AS
+	ASes       []AS
 	Countries  []Country
 	Continents []string
 	Metros     []*Metro
@@ -162,12 +215,16 @@ type Graph struct {
 
 	// Providers[i] lists the provider AS indices of AS i; Customers is the
 	// reverse adjacency. Peers[i] lists AS-level peers of i.
-	Providers [][]int
-	Customers [][]int
-	Peers     [][]int
+	Providers [][]int32
+	Customers [][]int32
+	Peers     [][]int32
 
-	conesMu sync.Mutex
-	cones   [][]int // lazily computed customer cones, guarded by conesMu
+	conesMu   sync.Mutex
+	cones     [][]int32 // lazily computed customer cones, guarded by conesMu
+	coneSeen  []int32   // epoch-stamped visited marks for cone BFS
+	coneEpoch int32
+	coneStack []int32
+	coneVisit []int32
 }
 
 // NewGraph returns an empty graph ready for ASes to be added.
@@ -175,11 +232,23 @@ func NewGraph() *Graph {
 	return &Graph{}
 }
 
-// AddAS appends a to the graph, assigning its Index, and grows the
-// adjacency slices. It returns the new index.
+// AddAS copies a into the graph, assigning its Index (also written back
+// through a so callers can read it), builds its footprint bitset from
+// Metros, and grows the adjacency slices. It returns the new index.
 func (g *Graph) AddAS(a *AS) int {
 	a.Index = len(g.ASes)
-	g.ASes = append(g.ASes, a)
+	if a.foot == nil {
+		a.foot = Bitset{}
+		for _, m := range a.Metros {
+			a.foot.Set(m)
+		}
+	}
+	if a.ixf == nil && len(a.IXPs) > 0 {
+		for _, x := range a.IXPs {
+			a.ixf.Set(x)
+		}
+	}
+	g.ASes = append(g.ASes, *a)
 	g.Providers = append(g.Providers, nil)
 	g.Customers = append(g.Customers, nil)
 	g.Peers = append(g.Peers, nil)
@@ -192,11 +261,11 @@ func (g *Graph) AddC2P(customer, provider int) {
 	if customer == provider {
 		panic("asgraph: self transit link")
 	}
-	if hasInt(g.Providers[customer], provider) {
+	if hasInt32(g.Providers[customer], int32(provider)) {
 		return
 	}
-	g.Providers[customer] = append(g.Providers[customer], provider)
-	g.Customers[provider] = append(g.Customers[provider], customer)
+	g.Providers[customer] = append(g.Providers[customer], int32(provider))
+	g.Customers[provider] = append(g.Customers[provider], int32(customer))
 	g.invalidateCones()
 }
 
@@ -208,56 +277,147 @@ func (g *Graph) invalidateCones() {
 
 // AddPeer records an AS-level peering between a and b (idempotent).
 func (g *Graph) AddPeer(a, b int) {
+	if g.HasPeer(a, b) {
+		return
+	}
+	g.AddPeerUnique(a, b)
+}
+
+// AddPeerUnique records a peering the caller guarantees is not already
+// present, skipping AddPeer's linear duplicate scan. Bulk construction
+// (netsim's peering build) uses this: with hypergiant peer degrees in the
+// tens of thousands, the dedup scan alone would be quadratic.
+func (g *Graph) AddPeerUnique(a, b int) {
 	if a == b {
 		panic("asgraph: self peering")
 	}
-	if hasInt(g.Peers[a], b) {
-		return
-	}
-	g.Peers[a] = append(g.Peers[a], b)
-	g.Peers[b] = append(g.Peers[b], a)
+	g.Peers[a] = append(g.Peers[a], int32(b))
+	g.Peers[b] = append(g.Peers[b], int32(a))
 }
 
 // HasPeer reports whether a and b peer at the AS level.
-func (g *Graph) HasPeer(a, b int) bool { return hasInt(g.Peers[a], b) }
+func (g *Graph) HasPeer(a, b int) bool { return hasInt32(g.Peers[a], int32(b)) }
 
 // HasProvider reports whether p is a provider of c.
-func (g *Graph) HasProvider(c, p int) bool { return hasInt(g.Providers[c], p) }
+func (g *Graph) HasProvider(c, p int) bool { return hasInt32(g.Providers[c], int32(p)) }
 
 // N returns the number of ASes.
 func (g *Graph) N() int { return len(g.ASes) }
 
+// Compact repacks the graph into its read-optimized form: every adjacency
+// list, each AS's Metros and IXPs slice, and the three membership bitsets
+// are re-laid-out over exactly-sized shared backing arrays (CSR-style:
+// one allocation per relation instead of one per AS, no append slack).
+// Call it once construction is done; later Add* calls still work (they
+// reallocate the touched AS's list out of the shared backing).
+func (g *Graph) Compact() {
+	g.Providers = repackAdj(g.Providers)
+	g.Customers = repackAdj(g.Customers)
+	g.Peers = repackAdj(g.Peers)
+
+	// Metros and IXPs: one []int backing each.
+	totM, totX := 0, 0
+	for i := range g.ASes {
+		totM += len(g.ASes[i].Metros)
+		totX += len(g.ASes[i].IXPs)
+	}
+	backM := make([]int, 0, totM)
+	backX := make([]int, 0, totX)
+	for i := range g.ASes {
+		a := &g.ASes[i]
+		off := len(backM)
+		backM = append(backM, a.Metros...)
+		a.Metros = backM[off:len(backM):len(backM)]
+		off = len(backX)
+		backX = append(backX, a.IXPs...)
+		a.IXPs = backX[off:len(backX):len(backX)]
+	}
+
+	// Bitsets: uniform stride over one backing per kind.
+	mw := BitsetWords(len(g.Metros))
+	xw := BitsetWords(len(g.IXPs))
+	footBack := make([]uint64, len(g.ASes)*mw)
+	ixfBack := make([]uint64, len(g.ASes)*xw)
+	rsBack := make([]uint64, len(g.ASes)*xw)
+	for i := range g.ASes {
+		a := &g.ASes[i]
+		foot := Bitset(footBack[i*mw : (i+1)*mw : (i+1)*mw])
+		for _, m := range a.Metros {
+			foot.Set(m)
+		}
+		a.foot = foot
+		ixf := Bitset(ixfBack[i*xw : (i+1)*xw : (i+1)*xw])
+		rs := Bitset(rsBack[i*xw : (i+1)*xw : (i+1)*xw])
+		for _, x := range a.IXPs {
+			ixf.Set(x)
+		}
+		// Copy existing route-server bits (rs may be shorter than xw).
+		copy(rs, a.rs)
+		a.ixf = ixf
+		a.rs = rs
+	}
+}
+
+// repackAdj copies per-AS adjacency lists into one exactly-sized backing
+// array, preserving order. Slices are capacity-clamped so a later append
+// reallocates instead of bleeding into a neighbor's list.
+func repackAdj(adj [][]int32) [][]int32 {
+	tot := 0
+	for _, l := range adj {
+		tot += len(l)
+	}
+	back := make([]int32, 0, tot)
+	out := make([][]int32, len(adj))
+	for i, l := range adj {
+		off := len(back)
+		back = append(back, l...)
+		out[i] = back[off:len(back):len(back)]
+	}
+	return out
+}
+
 // CustomerCone returns the customer cone of AS i: the set of AS indices
 // reachable by repeatedly following provider→customer links, including i
-// itself. The result is sorted and cached; the cache is guarded so
-// concurrent metro runs can share one graph (callers must not mutate the
-// returned slice).
-func (g *Graph) CustomerCone(i int) []int {
+// itself. The result is sorted, exactly sized and cached; the cache is
+// guarded so concurrent metro runs can share one graph (callers must not
+// mutate the returned slice).
+func (g *Graph) CustomerCone(i int) []int32 {
 	g.conesMu.Lock()
 	defer g.conesMu.Unlock()
 	if g.cones == nil {
-		g.cones = make([][]int, g.N())
+		g.cones = make([][]int32, g.N())
 	}
 	if g.cones[i] != nil {
 		return g.cones[i]
 	}
-	seen := map[int]bool{i: true}
-	stack := []int{i}
+	if len(g.coneSeen) < g.N() {
+		g.coneSeen = make([]int32, g.N())
+		g.coneEpoch = 0
+	}
+	g.coneEpoch++
+	epoch := g.coneEpoch
+	seen := g.coneSeen
+	stack := g.coneStack[:0]
+	stack = append(stack, int32(i))
+	seen[i] = epoch
+	visited := g.coneVisit[:0]
+	visited = append(visited, int32(i))
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, c := range g.Customers[x] {
-			if !seen[c] {
-				seen[c] = true
+			if seen[c] != epoch {
+				seen[c] = epoch
+				visited = append(visited, c)
 				stack = append(stack, c)
 			}
 		}
 	}
-	cone := make([]int, 0, len(seen))
-	for x := range seen {
-		cone = append(cone, x)
-	}
-	sort.Ints(cone)
+	g.coneStack = stack[:0]
+	cone := make([]int32, len(visited))
+	copy(cone, visited)
+	g.coneVisit = visited[:0]
+	slices.Sort(cone)
 	g.cones[i] = cone
 	return cone
 }
@@ -268,8 +428,8 @@ func (g *Graph) ConeSize(i int) int { return len(g.CustomerCone(i)) }
 // InCone reports whether x is in the customer cone of i.
 func (g *Graph) InCone(x, i int) bool {
 	cone := g.CustomerCone(i)
-	k := sort.SearchInts(cone, x)
-	return k < len(cone) && cone[k] == x
+	k := sort.Search(len(cone), func(j int) bool { return cone[j] >= int32(x) })
+	return k < len(cone) && cone[k] == int32(x)
 }
 
 // GeoScope categorizes how geographically close something is to a metro:
@@ -334,32 +494,45 @@ func (g *Graph) MetroOfName(name string) *Metro {
 }
 
 // SharedMetros returns the sorted metro indices where both ASes have
-// presence.
+// presence. With footprint bitsets (ASes added via AddAS) this is a word
+// AND; otherwise it falls back to a merge over the Metros slices.
 func (g *Graph) SharedMetros(a, b int) []int {
-	set := map[int]bool{}
-	for _, m := range g.ASes[a].Metros {
-		set[m] = true
+	fa, fb := g.ASes[a].foot, g.ASes[b].foot
+	if fa != nil && fb != nil {
+		return fa.AppendCommon(fb, nil)
 	}
-	var out []int
-	for _, m := range g.ASes[b].Metros {
-		if set[m] {
-			out = append(out, m)
-		}
+	return sharedSorted(g.ASes[a].Metros, g.ASes[b].Metros)
+}
+
+// Colocated reports whether the two ASes share at least one metro.
+func (g *Graph) Colocated(a, b int) bool {
+	fa, fb := g.ASes[a].foot, g.ASes[b].foot
+	if fa != nil && fb != nil {
+		return fa.Intersects(fb)
 	}
-	sort.Ints(out)
-	return out
+	return len(sharedSorted(g.ASes[a].Metros, g.ASes[b].Metros)) > 0
 }
 
 // SharedIXPs returns the sorted IXP indices both ASes are members of.
 func (g *Graph) SharedIXPs(a, b int) []int {
+	xa, xb := g.ASes[a].ixf, g.ASes[b].ixf
+	if xa != nil && xb != nil {
+		return xa.AppendCommon(xb, nil)
+	}
+	return sharedSorted(g.ASes[a].IXPs, g.ASes[b].IXPs)
+}
+
+// sharedSorted returns the sorted intersection of two small index slices
+// (not assumed sorted — hand-built test graphs may append out of order).
+func sharedSorted(xs, ys []int) []int {
 	set := map[int]bool{}
-	for _, x := range g.ASes[a].IXPs {
+	for _, x := range xs {
 		set[x] = true
 	}
 	var out []int
-	for _, x := range g.ASes[b].IXPs {
-		if set[x] {
-			out = append(out, x)
+	for _, y := range ys {
+		if set[y] {
+			out = append(out, y)
 		}
 	}
 	sort.Ints(out)
@@ -377,7 +550,7 @@ func MakePair(a, b int) Pair {
 	return Pair{a, b}
 }
 
-func hasInt(xs []int, v int) bool {
+func hasInt32(xs []int32, v int32) bool {
 	for _, x := range xs {
 		if x == v {
 			return true

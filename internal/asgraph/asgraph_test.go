@@ -100,7 +100,7 @@ func TestCustomerCone(t *testing.T) {
 		t.Fatalf("Tier1 cone = %v, want all 6", cone0)
 	}
 	cone1 := g.CustomerCone(1)
-	want1 := []int{1, 3, 4}
+	want1 := []int32{1, 3, 4}
 	if len(cone1) != len(want1) {
 		t.Fatalf("cone(1) = %v, want %v", cone1, want1)
 	}

@@ -1,0 +1,77 @@
+package asgraph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkHasMetro pins the bitset fast path of AS.HasMetro against the
+// linear-scan fallback it replaced: the same membership test, over
+// footprints of increasing size, in a 240-metro world (multi-word
+// bitsets). The bitset path is O(1) regardless of footprint size.
+func BenchmarkHasMetro(b *testing.B) {
+	const nMetros = 240
+	for _, footSize := range []int{2, 8, 32, 120} {
+		metros := make([]int, footSize)
+		for i := range metros {
+			metros[i] = (i * nMetros) / footSize // spread across the space
+		}
+		a := &AS{Metros: metros}
+		g := NewGraph()
+		g.AddAS(a)
+
+		// Probe a mix of members and non-members so branch prediction
+		// cannot trivialize either variant.
+		probes := [...]int{metros[footSize-1], 1, metros[0], nMetros - 1}
+
+		b.Run(fmt.Sprintf("bitset/foot=%d", footSize), func(b *testing.B) {
+			as := &g.ASes[0]
+			hit := 0
+			for i := 0; i < b.N; i++ {
+				if as.HasMetro(probes[i&3]) {
+					hit++
+				}
+			}
+			_ = hit
+		})
+		b.Run(fmt.Sprintf("linear/foot=%d", footSize), func(b *testing.B) {
+			// The pre-bitset implementation: scan the Metros slice.
+			as := &g.ASes[0]
+			hit := 0
+			for i := 0; i < b.N; i++ {
+				m := probes[i&3]
+				for _, mm := range as.Metros {
+					if mm == m {
+						hit++
+						break
+					}
+				}
+			}
+			_ = hit
+		})
+	}
+}
+
+// BenchmarkSharedMetros compares the bitset AppendCommon path of
+// SharedMetros with the historical map-based intersection fallback.
+func BenchmarkSharedMetros(b *testing.B) {
+	g := NewGraph()
+	m1 := []int{0, 3, 17, 64, 101, 130, 188, 201}
+	m2 := []int{3, 9, 64, 99, 130, 150, 201, 230}
+	g.AddAS(&AS{Metros: m1})
+	g.AddAS(&AS{Metros: m2})
+	b.Run("bitset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(g.SharedMetros(0, 1)) != 4 {
+				b.Fatal("bad intersection")
+			}
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(sharedSorted(m1, m2)) != 4 {
+				b.Fatal("bad intersection")
+			}
+		}
+	})
+}

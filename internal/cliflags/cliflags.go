@@ -25,6 +25,9 @@ type World struct {
 	Scale float64 `json:"scale"`
 	// Seed drives world generation and the pipeline RNG.
 	Seed int64 `json:"seed"`
+	// Ases, when > 0, switches to the Internet-scale metro set sized for
+	// roughly this many ASes (overrides Scale).
+	Ases int `json:"ases"`
 }
 
 // DefaultWorld is the baseline used by the CLIs.
@@ -35,10 +38,14 @@ func DefaultWorld() World { return World{Scale: 0.25, Seed: 1} }
 func (w *World) Register(fs *flag.FlagSet) {
 	fs.Float64Var(&w.Scale, "scale", w.Scale, "world scale (1.0 ≈ paper-like metro sizes)")
 	fs.Int64Var(&w.Seed, "seed", w.Seed, "world and pipeline seed")
+	fs.IntVar(&w.Ases, "ases", w.Ases, "Internet-scale world sized for ~this many ASes (overrides -scale)")
 }
 
 // Config returns the generation config for this group.
 func (w World) Config() metascritic.WorldConfig {
+	if w.Ases > 0 {
+		return metascritic.WorldConfig{Seed: w.Seed, Metros: metascritic.InternetMetros(w.Ases)}
+	}
 	return metascritic.WorldConfig{Seed: w.Seed, Metros: metascritic.DefaultMetros(w.Scale)}
 }
 

@@ -202,7 +202,7 @@ func (h *Harness) ValidationSets(res *metascritic.Result, seed int64) []*Validat
 				if !ok1 || !ok2 || truth.M.At(i, j) < 0.5 {
 					continue
 				}
-				onRS := g.ASes[ai].RouteServer[ix.Index] && g.ASes[bi].RouteServer[ix.Index]
+				onRS := g.ASes[ai].OnRouteServer(ix.Index) && g.ASes[bi].OnRouteServer(ix.Index)
 				if onRS {
 					multilateral.Pairs = append(multilateral.Pairs, [2]int{i, j})
 					multilateral.Labels = append(multilateral.Labels, true)

@@ -70,17 +70,18 @@ func NewPairFeaturizer(g *asgraph.Graph, est *obs.Estimate, sameFacility func(a,
 // Features returns the feature vector for member rows i and j.
 func (pf *PairFeaturizer) Features(i, j int) []float64 {
 	g := pf.G
-	a := g.ASes[pf.Est.Members[i]]
-	b := g.ASes[pf.Est.Members[j]]
+	a := &g.ASes[pf.Est.Members[i]]
+	b := &g.ASes[pf.Est.Members[j]]
 	metro := pf.Est.Metro
 
-	overlapCity, overlapCountry := 0.0, 0.0
+	// Footprint intersection via bitsets (ScopeOfMetros returns SameMetro
+	// exactly when the two indices are equal); the cross-country overlap
+	// still needs the pair scan, but skips the diagonal.
+	overlapCity := float64(a.Footprint().CommonCount(b.Footprint()))
+	overlapCountry := 0.0
 	for _, ma := range a.Metros {
 		for _, mb := range b.Metros {
-			switch g.ScopeOfMetros(ma, mb) {
-			case asgraph.SameMetro:
-				overlapCity++
-			case asgraph.SameCountry:
+			if ma != mb && g.ScopeOfMetros(ma, mb) == asgraph.SameCountry {
 				overlapCountry++
 			}
 		}

@@ -23,7 +23,8 @@ func PublicMesh(g *asgraph.Graph) []asgraph.Pair {
 		if g.ASes[a].Class != asgraph.Tier1 {
 			continue
 		}
-		for _, b := range g.Peers[a] {
+		for _, b32 := range g.Peers[a] {
+			b := int(b32)
 			if a < b && g.ASes[b].Class == asgraph.Tier1 {
 				pub = append(pub, asgraph.MakePair(a, b))
 			}
@@ -45,7 +46,7 @@ func PredictionTopology(g *asgraph.Graph, peers []asgraph.Pair) *bgp.Topology {
 	t := bgp.NewTopology(g.N())
 	for c := range g.Providers {
 		for _, p := range g.Providers[c] {
-			t.AddC2P(c, p)
+			t.AddC2P(c, int(p))
 		}
 	}
 	added := map[asgraph.Pair]bool{}

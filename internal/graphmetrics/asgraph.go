@@ -1,0 +1,19 @@
+package graphmetrics
+
+import "metascritic/internal/asgraph"
+
+// FromGraph computes the report over the union AS-level adjacency of g:
+// peering and transit edges together, direction dropped — the graph a
+// topology-measurement study would evaluate.
+func FromGraph(g *asgraph.Graph) *Report {
+	n := g.N()
+	adj := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		l := make([]int32, 0, len(g.Peers[i])+len(g.Providers[i])+len(g.Customers[i]))
+		l = append(l, g.Peers[i]...)
+		l = append(l, g.Providers[i]...)
+		l = append(l, g.Customers[i]...)
+		adj[i] = l
+	}
+	return Compute(adj)
+}

@@ -1,0 +1,422 @@
+// Package graphmetrics validates the structural realism of generated
+// AS-level topologies. It computes the metrics the topology-modeling
+// literature uses to judge AS graphs — degree distribution with a
+// power-law fit, average clustering by degree, k-core decomposition, and
+// joint-degree assortativity — so every generated world ships with a
+// report that can be compared against the known shape of the measured
+// Internet (heavy-tailed degrees with α≈2.1, high clustering at low
+// degree, deep k-cores concentrated in the transit core, disassortative
+// mixing).
+package graphmetrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Report is the structural summary of one undirected graph.
+type Report struct {
+	Nodes int
+	Edges int
+
+	// Degree distribution summary.
+	AvgDegree float64
+	MaxDegree int
+	// DegreeCCDF holds (degree, fraction of nodes with degree ≥ d) at
+	// logarithmically spaced degrees — compact enough to print, detailed
+	// enough to see the tail shape.
+	DegreeCCDF []CCDFPoint
+
+	// PowerLawAlpha is the Clauset-style MLE exponent of the degree tail
+	// (fit over degrees ≥ PowerLawDmin, chosen by minimizing the KS
+	// distance). The measured Internet sits near α ≈ 2.1.
+	PowerLawAlpha float64
+	PowerLawDmin  int
+	// PowerLawKS is the Kolmogorov–Smirnov distance of the fit.
+	PowerLawKS float64
+
+	// AvgClustering is the mean local clustering coefficient over nodes
+	// with degree ≥ 2. ClusteringByDegree buckets it by log₂(degree).
+	AvgClustering      float64
+	ClusteringByDegree []DegreeBucket
+
+	// MaxCore is the largest k with a non-empty k-core; CoreSizes[k] is
+	// the number of nodes with coreness exactly k (index 0..MaxCore).
+	MaxCore   int
+	CoreSizes []int
+
+	// Assortativity is the Pearson correlation of degrees across edge
+	// endpoints (negative = disassortative, like the Internet).
+	Assortativity float64
+}
+
+// CCDFPoint is one point of the degree CCDF.
+type CCDFPoint struct {
+	Degree int
+	Frac   float64
+}
+
+// DegreeBucket aggregates a metric over nodes whose degree falls in
+// [Lo, Hi].
+type DegreeBucket struct {
+	Lo, Hi int
+	Nodes  int
+	Value  float64
+}
+
+// clusteringSampleCap bounds the neighbor pairs examined per node when
+// computing local clustering. Nodes up to this degree are exact; beyond
+// it, clustering is estimated from a deterministic stride sample (the
+// hypergiant-degree nodes would otherwise cost O(d²) set intersections).
+const clusteringSampleCap = 128
+
+// Compute builds a Report from an undirected adjacency list. Neighbor
+// lists may be unsorted; self-loops are ignored and duplicate edges
+// counted once.
+func Compute(adj [][]int32) *Report {
+	n := len(adj)
+	r := &Report{Nodes: n}
+	if n == 0 {
+		return r
+	}
+
+	// Sorted, deduplicated neighbor sets.
+	nbr := make([][]int32, n)
+	totalDeg := 0
+	for i, l := range adj {
+		s := make([]int32, 0, len(l))
+		for _, v := range l {
+			if int(v) != i {
+				s = append(s, v)
+			}
+		}
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		// Dedup in place.
+		k := 0
+		for j, v := range s {
+			if j == 0 || v != s[j-1] {
+				s[k] = v
+				k++
+			}
+		}
+		nbr[i] = s[:k]
+		totalDeg += k
+	}
+	r.Edges = totalDeg / 2
+	r.AvgDegree = float64(totalDeg) / float64(n)
+
+	deg := make([]int, n)
+	for i := range nbr {
+		deg[i] = len(nbr[i])
+		if deg[i] > r.MaxDegree {
+			r.MaxDegree = deg[i]
+		}
+	}
+
+	r.DegreeCCDF = degreeCCDF(deg)
+	r.PowerLawAlpha, r.PowerLawDmin, r.PowerLawKS = fitPowerLaw(deg)
+	r.AvgClustering, r.ClusteringByDegree = clustering(nbr, deg)
+	coreness := Coreness(nbr)
+	for _, c := range coreness {
+		if c > r.MaxCore {
+			r.MaxCore = c
+		}
+	}
+	r.CoreSizes = make([]int, r.MaxCore+1)
+	for _, c := range coreness {
+		r.CoreSizes[c]++
+	}
+	r.Assortativity = assortativity(nbr, deg)
+	return r
+}
+
+func degreeCCDF(deg []int) []CCDFPoint {
+	n := len(deg)
+	sorted := append([]int(nil), deg...)
+	sort.Ints(sorted)
+	var out []CCDFPoint
+	for d := 1; d <= sorted[n-1]; d *= 2 {
+		// Fraction of nodes with degree >= d.
+		i := sort.SearchInts(sorted, d)
+		out = append(out, CCDFPoint{Degree: d, Frac: float64(n-i) / float64(n)})
+	}
+	return out
+}
+
+// fitPowerLaw estimates the tail exponent with the discrete-approximation
+// Clauset MLE α = 1 + n_tail / Σ ln(d/(dmin-1/2)), scanning candidate
+// dmin values and keeping the one with the smallest KS distance between
+// the empirical tail CCDF and the fitted power law.
+func fitPowerLaw(deg []int) (alpha float64, dmin int, ks float64) {
+	tail := make([]int, 0, len(deg))
+	for _, d := range deg {
+		if d > 0 {
+			tail = append(tail, d)
+		}
+	}
+	if len(tail) < 10 {
+		return 0, 0, 0
+	}
+	sort.Ints(tail)
+	// Candidate dmin values: distinct degrees in the lower half of the
+	// distribution (capped so the scan stays cheap).
+	cands := []int{}
+	for i, d := range tail {
+		if (i == 0 || d != tail[i-1]) && d >= 1 {
+			cands = append(cands, d)
+		}
+		if len(cands) >= 24 || d > tail[len(tail)/2] {
+			break
+		}
+	}
+	best := math.Inf(1)
+	for _, dm := range cands {
+		i := sort.SearchInts(tail, dm)
+		nt := len(tail) - i
+		if nt < 10 {
+			continue
+		}
+		sum := 0.0
+		for _, d := range tail[i:] {
+			sum += math.Log(float64(d) / (float64(dm) - 0.5))
+		}
+		if sum <= 0 {
+			continue
+		}
+		a := 1 + float64(nt)/sum
+		k := ksDistance(tail[i:], a, dm)
+		if k < best {
+			best, alpha, dmin, ks = k, a, dm, k
+		}
+	}
+	return alpha, dmin, ks
+}
+
+// ksDistance compares the empirical CCDF of tail (sorted, all ≥ dmin)
+// with the continuous power-law CCDF (d/dmin)^(1-α).
+func ksDistance(tail []int, alpha float64, dmin int) float64 {
+	n := len(tail)
+	maxD := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && tail[j] == tail[i] {
+			j++
+		}
+		empCCDF := float64(n-i) / float64(n)
+		model := math.Pow(float64(tail[i])/float64(dmin), 1-alpha)
+		if d := math.Abs(empCCDF - model); d > maxD {
+			maxD = d
+		}
+		i = j
+	}
+	return maxD
+}
+
+// clustering returns the average local clustering coefficient (degree ≥ 2
+// nodes) and its breakdown by log₂-degree bucket. Neighbor lists must be
+// sorted.
+func clustering(nbr [][]int32, deg []int) (float64, []DegreeBucket) {
+	type acc struct {
+		n   int
+		sum float64
+	}
+	buckets := map[int]*acc{}
+	total, cnt := 0.0, 0
+	for i := range nbr {
+		d := deg[i]
+		if d < 2 {
+			continue
+		}
+		c := localClustering(nbr, i)
+		total += c
+		cnt++
+		b := 0
+		for v := d; v > 1; v >>= 1 {
+			b++
+		}
+		if buckets[b] == nil {
+			buckets[b] = &acc{}
+		}
+		buckets[b].n++
+		buckets[b].sum += c
+	}
+	var keys []int
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var out []DegreeBucket
+	for _, k := range keys {
+		out = append(out, DegreeBucket{
+			Lo:    1 << k,
+			Hi:    1<<(k+1) - 1,
+			Nodes: buckets[k].n,
+			Value: buckets[k].sum / float64(buckets[k].n),
+		})
+	}
+	if cnt == 0 {
+		return 0, out
+	}
+	return total / float64(cnt), out
+}
+
+// localClustering computes (or, above clusteringSampleCap, estimates via
+// a deterministic stride sample of neighbor pairs) the fraction of
+// neighbor pairs of node i that are themselves adjacent.
+func localClustering(nbr [][]int32, i int) float64 {
+	s := nbr[i]
+	d := len(s)
+	if d < 2 {
+		return 0
+	}
+	if d <= clusteringSampleCap {
+		links := 0
+		for a := 0; a < d; a++ {
+			for b := a + 1; b < d; b++ {
+				if hasSorted(nbr[s[a]], s[b]) {
+					links++
+				}
+			}
+		}
+		return 2 * float64(links) / float64(d*(d-1))
+	}
+	// Deterministic pseudo-random pair sample: stride through the pair
+	// space with a step co-prime to d so the sample spreads evenly.
+	samples := clusteringSampleCap * 8
+	links := 0
+	stepA := d/3 + 1
+	for k := 0; k < samples; k++ {
+		a := (k * stepA) % d
+		b := (a + 1 + (k*2654435761)%(d-1)) % d
+		if a == b {
+			b = (b + 1) % d
+		}
+		if hasSorted(nbr[s[a]], s[b]) {
+			links++
+		}
+	}
+	return float64(links) / float64(samples)
+}
+
+func hasSorted(s []int32, v int32) bool {
+	i := sort.Search(len(s), func(j int) bool { return s[j] >= v })
+	return i < len(s) && s[i] == v
+}
+
+// Coreness computes the k-core decomposition (Batagelj–Zaversnik bucket
+// algorithm, O(V+E)): Coreness(nbr)[i] is the largest k such that node i
+// belongs to the k-core. Neighbor lists must be deduplicated.
+func Coreness(nbr [][]int32) []int {
+	n := len(nbr)
+	deg := make([]int, n)
+	maxDeg := 0
+	for i := range nbr {
+		deg[i] = len(nbr[i])
+		if deg[i] > maxDeg {
+			maxDeg = deg[i]
+		}
+	}
+	// Bucket sort nodes by degree.
+	bin := make([]int, maxDeg+2)
+	for _, d := range deg {
+		bin[d]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		c := bin[d]
+		bin[d] = start
+		start += c
+	}
+	pos := make([]int, n)
+	vert := make([]int, n)
+	for i, d := range deg {
+		pos[i] = bin[d]
+		vert[pos[i]] = i
+		bin[d]++
+	}
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	core := make([]int, n)
+	copy(core, deg)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		for _, u32 := range nbr[v] {
+			u := int(u32)
+			if core[u] > core[v] {
+				// Move u one bucket down.
+				du, pu := core[u], pos[u]
+				pw := bin[du]
+				w := vert[pw]
+				if u != w {
+					pos[u], pos[w] = pw, pu
+					vert[pu], vert[pw] = w, u
+				}
+				bin[du]++
+				core[u]--
+			}
+		}
+	}
+	return core
+}
+
+// assortativity is the Pearson correlation coefficient of the degrees at
+// either end of each edge (each edge counted in both directions, the
+// standard Newson r). Returns 0 when degenerate (fewer than 2 distinct
+// endpoint degrees).
+func assortativity(nbr [][]int32, deg []int) float64 {
+	var m, sx, sxx, sxy float64
+	for i := range nbr {
+		for _, j := range nbr[i] {
+			x, y := float64(deg[i]), float64(deg[j])
+			m++
+			sx += x
+			sxx += x * x
+			sxy += x * y
+		}
+	}
+	if m == 0 {
+		return 0
+	}
+	mean := sx / m
+	varX := sxx/m - mean*mean
+	if varX <= 1e-12 {
+		return 0
+	}
+	cov := sxy/m - mean*mean
+	return cov / varX
+}
+
+// String renders the report as a compact human-readable block.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph: %d nodes, %d edges, avg degree %.2f, max degree %d\n",
+		r.Nodes, r.Edges, r.AvgDegree, r.MaxDegree)
+	fmt.Fprintf(&b, "power law: alpha=%.2f (dmin=%d, KS=%.3f)\n",
+		r.PowerLawAlpha, r.PowerLawDmin, r.PowerLawKS)
+	fmt.Fprintf(&b, "clustering: avg=%.3f over deg>=2\n", r.AvgClustering)
+	for _, db := range r.ClusteringByDegree {
+		fmt.Fprintf(&b, "  deg %d-%d: C=%.3f (n=%d)\n", db.Lo, db.Hi, db.Value, db.Nodes)
+	}
+	fmt.Fprintf(&b, "k-core: max core %d; core sizes tail:", r.MaxCore)
+	lo := r.MaxCore - 4
+	if lo < 0 {
+		lo = 0
+	}
+	for k := lo; k <= r.MaxCore; k++ {
+		fmt.Fprintf(&b, " %d:%d", k, r.CoreSizes[k])
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "assortativity: %.3f\n", r.Assortativity)
+	ccdf := "degree CCDF:"
+	for _, p := range r.DegreeCCDF {
+		ccdf += fmt.Sprintf(" %d:%.4f", p.Degree, p.Frac)
+	}
+	b.WriteString(ccdf)
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package graphmetrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// undirected builds a symmetric adjacency list from an edge list.
+func undirected(n int, edges [][2]int) [][]int32 {
+	adj := make([][]int32, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], int32(e[1]))
+		adj[e[1]] = append(adj[e[1]], int32(e[0]))
+	}
+	return adj
+}
+
+func star(n int) [][]int32 {
+	edges := make([][2]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	return undirected(n, edges)
+}
+
+func clique(n int) [][]int32 {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return undirected(n, edges)
+}
+
+// twoCore: a 4-clique core (nodes 0-3) with a pendant path 4-5 hanging
+// off node 0.
+func twoCore() [][]int32 {
+	edges := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {0, 4}, {4, 5}}
+	return undirected(6, edges)
+}
+
+func TestStarGolden(t *testing.T) {
+	r := Compute(star(11))
+	if r.Nodes != 11 || r.Edges != 10 {
+		t.Fatalf("star: nodes=%d edges=%d", r.Nodes, r.Edges)
+	}
+	if r.MaxDegree != 10 {
+		t.Fatalf("star: max degree %d, want 10", r.MaxDegree)
+	}
+	if r.AvgClustering != 0 {
+		t.Fatalf("star: clustering %v, want 0", r.AvgClustering)
+	}
+	if r.MaxCore != 1 {
+		t.Fatalf("star: max core %d, want 1", r.MaxCore)
+	}
+	// Star is maximally disassortative: hub (deg 10) connects only to
+	// leaves (deg 1). Pearson r = -1.
+	if math.Abs(r.Assortativity-(-1)) > 1e-9 {
+		t.Fatalf("star: assortativity %v, want -1", r.Assortativity)
+	}
+}
+
+func TestCliqueGolden(t *testing.T) {
+	r := Compute(clique(6))
+	if r.Edges != 15 {
+		t.Fatalf("clique: edges=%d, want 15", r.Edges)
+	}
+	if r.AvgClustering != 1 {
+		t.Fatalf("clique: clustering %v, want 1", r.AvgClustering)
+	}
+	if r.MaxCore != 5 {
+		t.Fatalf("clique: max core %d, want 5", r.MaxCore)
+	}
+	if r.CoreSizes[5] != 6 {
+		t.Fatalf("clique: core-5 size %d, want 6", r.CoreSizes[5])
+	}
+	// All degrees equal: assortativity is degenerate, reported as 0.
+	if r.Assortativity != 0 {
+		t.Fatalf("clique: assortativity %v, want 0", r.Assortativity)
+	}
+}
+
+func TestTwoCoreGolden(t *testing.T) {
+	nbr := twoCore()
+	core := Coreness(nbr)
+	want := []int{3, 3, 3, 3, 1, 1}
+	for i, w := range want {
+		if core[i] != w {
+			t.Fatalf("coreness = %v, want %v", core, want)
+		}
+	}
+	r := Compute(nbr)
+	if r.MaxCore != 3 {
+		t.Fatalf("max core %d, want 3", r.MaxCore)
+	}
+	// Node 0: neighbors {1,2,3,4}; links among them: (1,2),(1,3),(2,3) of
+	// C(4,2)=6 → 0.5. Nodes 1,2,3: neighbors are a triangle → 1.
+	// Node 4: neighbors {0,5} not adjacent → 0. Avg = (0.5+3·1+0)/5 = 0.7.
+	if math.Abs(r.AvgClustering-0.7) > 1e-9 {
+		t.Fatalf("avg clustering %v, want 0.7", r.AvgClustering)
+	}
+}
+
+func TestPowerLawRecovery(t *testing.T) {
+	// Sample degrees from a discrete power law with alpha=2.5 via inverse
+	// CDF on the continuous approximation; MLE should land near 2.5.
+	rng := rand.New(rand.NewSource(7))
+	deg := make([]int, 20000)
+	for i := range deg {
+		u := rng.Float64()
+		deg[i] = int(math.Pow(1-u, -1/1.5)) // alpha=2.5 → exponent 1/(α-1)
+		if deg[i] < 1 {
+			deg[i] = 1
+		}
+	}
+	alpha, dmin, _ := fitPowerLaw(deg)
+	if alpha < 2.2 || alpha > 2.8 {
+		t.Fatalf("alpha=%v (dmin=%d), want ≈2.5", alpha, dmin)
+	}
+}
+
+// TestCorenessMonotoneUnderEdgeRemoval is the property test: removing any
+// edge can never increase any node's coreness.
+func TestCorenessMonotoneUnderEdgeRemoval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 60
+	var edges [][2]int
+	// Random graph dense enough for a multi-level core structure.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.12 {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	base := Coreness(undirected(n, edges))
+	for trial := 0; trial < 40; trial++ {
+		drop := rng.Intn(len(edges))
+		reduced := make([][2]int, 0, len(edges)-1)
+		reduced = append(reduced, edges[:drop]...)
+		reduced = append(reduced, edges[drop+1:]...)
+		after := Coreness(undirected(n, reduced))
+		for i := range after {
+			if after[i] > base[i] {
+				t.Fatalf("dropping edge %v raised coreness of %d: %d > %d",
+					edges[drop], i, after[i], base[i])
+			}
+		}
+	}
+}
+
+// TestSampledClusteringAgreesOnDenseNode checks the stride sample stays
+// close to the exact value on a graph where high-degree clustering is
+// known: a clique big enough to trigger sampling has clustering 1.
+func TestSampledClusteringAgreesOnDenseNode(t *testing.T) {
+	r := Compute(clique(clusteringSampleCap + 20))
+	if r.AvgClustering != 1 {
+		t.Fatalf("large clique sampled clustering %v, want exactly 1", r.AvgClustering)
+	}
+}

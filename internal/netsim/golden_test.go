@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+	"testing"
+
+)
+
+// fingerprint folds every generated artifact that downstream code can
+// observe — graph structure, adjacency order, link metros, relationships,
+// latent vectors, probes, facilities — into one FNV-1a hash. Map-shaped
+// state is serialized in sorted order so the hash is iteration-order
+// independent.
+func fingerprint(w *World) uint64 {
+	h := fnv.New64a()
+	wInt := func(v int) {
+		var b [8]byte
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	wF := func(f float64) { wInt(int(math.Float64bits(f))) }
+	wBool := func(v bool) {
+		if v {
+			wInt(1)
+		} else {
+			wInt(0)
+		}
+	}
+
+	g := w.G
+	wInt(g.N())
+	wInt(len(g.Metros))
+	wInt(len(g.IXPs))
+	for i := 0; i < g.N(); i++ {
+		a := g.ASes[i]
+		wInt(a.ASN)
+		wInt(int(a.Class))
+		wInt(int(a.Policy))
+		wInt(int(a.Traffic))
+		wInt(a.Eyeballs)
+		wInt(a.AddrSpace)
+		wInt(a.Country)
+		wBool(a.ConsistentRouting)
+		wInt(len(a.Metros))
+		for _, m := range a.Metros {
+			wInt(m)
+		}
+		wInt(len(a.IXPs))
+		for _, x := range a.IXPs {
+			wInt(x)
+			wBool(a.OnRouteServer(x))
+		}
+	}
+	// Adjacency, including list order (routing tie-breaks can observe it).
+	for i := 0; i < g.N(); i++ {
+		provs := g.Providers[i]
+		wInt(len(provs))
+		for _, p := range provs {
+			wInt(int(p))
+		}
+		peers := g.Peers[i]
+		wInt(len(peers))
+		for _, p := range peers {
+			wInt(int(p))
+		}
+	}
+	for _, ix := range g.IXPs {
+		wInt(ix.Metro)
+		wInt(len(ix.Members))
+		for _, m := range ix.Members {
+			wInt(m)
+		}
+	}
+	// Relationship + link-metro maps, sorted.
+	pairs := make([]Pair, 0, len(w.LinkMetros))
+	for pr := range w.LinkMetros {
+		pairs = append(pairs, pr)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	wInt(len(pairs))
+	for _, pr := range pairs {
+		wInt(pr.A)
+		wInt(pr.B)
+		wInt(int(w.Rel[pr]))
+		wBool(w.CustomerIsA[pr])
+		ms := w.LinkMetros[pr]
+		wInt(len(ms))
+		for _, m := range ms {
+			wInt(m)
+		}
+	}
+	// Latent strategy vectors (exact bits).
+	for i := 0; i < w.Latent.Rows; i++ {
+		for _, v := range w.Latent.Row(i) {
+			wF(v)
+		}
+	}
+	// Probes (order is part of the contract), responsiveness, facilities.
+	wInt(len(w.Probes))
+	for _, p := range w.Probes {
+		wInt(p.AS)
+		wInt(p.Metro)
+	}
+	for _, ai := range w.ProbeASes {
+		wInt(ai)
+	}
+	for _, r := range w.Responsive {
+		wBool(r)
+	}
+	for mi := 0; mi < len(g.Metros); mi++ {
+		facs := w.Facilities[mi]
+		wInt(len(facs))
+		for _, f := range facs {
+			wInt(len(f))
+			for _, ai := range f {
+				wInt(ai)
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// Golden fingerprints recorded from the pre-PR8 all-pairs generator. The
+// metro-bucketed parallel generator must reproduce these worlds bit for
+// bit (same rng draw sequence, same insertion order) at legacy scales.
+var goldenWorlds = []struct {
+	name string
+	cfg  Config
+	want uint64
+}{
+	{"seed1_scale015", Config{Seed: 1, Metros: nil}, 0xdd5bacb08c6404ec},
+	{"seed42_scale01", Config{Seed: 42, Metros: nil}, 0x6ade9b6756716b8b},
+	{"seed3_scale03", Config{Seed: 3, Metros: nil}, 0xbf10065b747dc46d},
+	{"seed7_dim6", Config{Seed: 7, Metros: nil, LatentDim: 6}, 0xdf164ed5cc7b5b1},
+}
+
+func goldenConfig(i int) Config {
+	cfg := goldenWorlds[i].cfg
+	switch i {
+	case 0:
+		cfg.Metros = DefaultMetros(0.15)
+	case 1:
+		cfg.Metros = DefaultMetros(0.1)
+	case 2:
+		cfg.Metros = DefaultMetros(0.3)
+	case 3:
+		cfg.Metros = DefaultMetros(0.06)
+	}
+	return cfg
+}
+
+func TestGenerateGoldenFingerprint(t *testing.T) {
+	for i, gw := range goldenWorlds {
+		w := Generate(goldenConfig(i))
+		got := fingerprint(w)
+		if got != gw.want {
+			t.Errorf("%s: fingerprint %#x, want %#x (N=%d links=%d)",
+				gw.name, got, gw.want, w.G.N(), len(w.LinkMetros))
+		}
+	}
+}

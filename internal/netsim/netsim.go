@@ -18,12 +18,26 @@
 // Because the generator knows the true connectivity matrix T_m of every
 // metro, evaluation can measure exact precision/recall and the controlled
 // rank-recovery experiment (Appx. E.5) can verify rank estimation.
+//
+// # Scale
+//
+// Generation is built to reach real-Internet scale (~100k ASes, ~500k
+// links; Config.Workers bounds the worker pool). The peering build never
+// scans all AS pairs: candidate pairs are enumerated per metro (only
+// colocated ASes are ever scored), deduplicated by assigning each pair to
+// its lowest shared metro, scored in parallel, and then materialized by a
+// single sequential pass in canonical pair order — so a given seed yields
+// a byte-identical world at any worker count, and (at legacy scales) a
+// world bit-identical to the historical all-pairs generator.
 package netsim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"metascritic/internal/asgraph"
 	"metascritic/internal/mat"
@@ -65,6 +79,10 @@ type Config struct {
 	// the low-dimensional structure that makes connectivity matrices
 	// effectively low-rank without being visible in public features.
 	NumArchetypes int
+	// Workers bounds the parallel phases of generation (candidate scoring
+	// fan-out). 0 means GOMAXPROCS. The generated world is byte-identical
+	// at any worker count.
+	Workers int
 }
 
 // DefaultMetros returns the paper's six study metros plus a set of
@@ -97,6 +115,148 @@ func DefaultMetros(scale float64) []MetroSpec {
 	}
 }
 
+// internetRegions is the country/continent pool InternetMetros draws
+// from: a coarse slice of the real interconnection geography, weighted
+// toward the regions that host the large IX ecosystems.
+var internetRegions = []struct {
+	country, continent string
+	vp                 float64 // typical VP coverage in the region (Fig. 6)
+	weight             int     // relative number of metros
+}{
+	{"US", "NA", 0.65, 9}, {"CA", "NA", 0.60, 2}, {"MX", "NA", 0.25, 1},
+	{"BR", "SA", 0.14, 4}, {"AR", "SA", 0.15, 1}, {"CL", "SA", 0.18, 1},
+	{"DE", "EU", 0.80, 4}, {"NL", "EU", 0.80, 2}, {"GB", "EU", 0.78, 3},
+	{"FR", "EU", 0.72, 2}, {"ES", "EU", 0.60, 1}, {"IT", "EU", 0.55, 1},
+	{"PL", "EU", 0.58, 1}, {"SE", "EU", 0.70, 1}, {"RU", "EU", 0.40, 2},
+	{"JP", "AS", 0.62, 3}, {"SG", "AS", 0.55, 1}, {"HK", "AS", 0.50, 1},
+	{"IN", "AS", 0.30, 4}, {"ID", "AS", 0.25, 2}, {"KR", "AS", 0.55, 1},
+	{"AU", "OC", 0.58, 3}, {"NZ", "OC", 0.55, 1},
+	{"ZA", "AF", 0.20, 2}, {"KE", "AF", 0.15, 1}, {"NG", "AF", 0.12, 1},
+	{"EG", "AF", 0.15, 1},
+}
+
+// InternetMetros synthesizes a metro set sized for ~nASes total
+// single-home assignments: many metros with a heavy-tailed (Zipf-like)
+// size distribution over a realistic country/continent mix, the shape
+// worldgen -ases uses to build 100k-AS worlds. The paper's six study
+// metros stay present (and Primary) at the head of the list.
+func InternetMetros(nASes int) []MetroSpec {
+	if nASes < 2000 {
+		nASes = 2000
+	}
+	// Metro count grows sublinearly so mean metro size grows slowly:
+	// ~96 metros at 10k ASes, ~240 at 100k (mean size ~420).
+	nMetros := int(24 * float64(nASes) / 1000 / 10)
+	if nMetros < 48 {
+		nMetros = 48
+	}
+	if nMetros > 1200 {
+		nMetros = 1200
+	}
+	specs := make([]MetroSpec, 0, nMetros)
+	head := []MetroSpec{
+		{Name: "Amsterdam", Country: "NL", Continent: "EU", VPCoverage: 0.80, Primary: true},
+		{Name: "NewYork", Country: "US", Continent: "NA", VPCoverage: 0.70, Primary: true},
+		{Name: "SaoPaulo", Country: "BR", Continent: "SA", VPCoverage: 0.14, Primary: true},
+		{Name: "Singapore", Country: "SG", Continent: "AS", VPCoverage: 0.55, Primary: true},
+		{Name: "Sydney", Country: "AU", Continent: "OC", VPCoverage: 0.60, Primary: true},
+		{Name: "Tokyo", Country: "JP", Continent: "AS", VPCoverage: 0.65, Primary: true},
+	}
+	specs = append(specs, head...)
+	ri, taken := 0, 0
+	for len(specs) < nMetros {
+		r := internetRegions[ri%len(internetRegions)]
+		ri++
+		taken++
+		specs = append(specs, MetroSpec{
+			Name:       fmt.Sprintf("%s-M%d", r.country, taken),
+			Country:    r.country,
+			Continent:  r.continent,
+			VPCoverage: r.vp,
+		})
+		// Regions with more weight contribute metros more often.
+		for k := 1; k < r.weight && len(specs) < nMetros; k++ {
+			if (taken+k)%3 == 0 {
+				break
+			}
+			taken++
+			specs = append(specs, MetroSpec{
+				Name:       fmt.Sprintf("%s-M%d", r.country, taken),
+				Country:    r.country,
+				Continent:  r.continent,
+				VPCoverage: r.vp,
+			})
+		}
+	}
+	// Zipf-ish sizes: metro k gets weight 1/(k+3)^0.72, normalized to
+	// nASes. The exponent keeps the head heavy (Amsterdam-like) without
+	// letting a single metro dominate the pair-enumeration cost.
+	weights := make([]float64, len(specs))
+	totW := 0.0
+	for k := range specs {
+		weights[k] = zipfWeight(k)
+		totW += weights[k]
+	}
+	for k := range specs {
+		n := int(float64(nASes) * weights[k] / totW)
+		if n < 25 {
+			n = 25
+		}
+		specs[k].NumASes = n
+	}
+	return specs
+}
+
+func zipfWeight(k int) float64 {
+	return 1 / math.Pow(float64(k+3), 0.5)
+}
+
+// denseCutoff is the metro population above which dense-market
+// attenuation kicks in: in big interconnection markets, the fraction of
+// local networks joining any one IXP falls, and bilateral peering gets
+// more selective (you interconnect with the partners that matter, not
+// with everyone present). Below the cutoff the generator behaves exactly
+// like the historical one, which keeps the legacy-scale golden worlds
+// bit-identical; the largest golden-world metro has 148 members.
+const denseCutoff = 200
+
+// ixpJoinScale attenuates IXP join probability in metros larger than
+// denseCutoff (1/x-law: the absolute number of IXP members keeps growing
+// with the market, but the join *fraction* falls, so route-server meshes
+// stop growing quadratically in metro population).
+func ixpJoinScale(members int) float64 {
+	if members <= denseCutoff {
+		return 1
+	}
+	return denseCutoff / float64(members)
+}
+
+// worldCutoff is the total AS count above which global selectivity kicks
+// in (the largest legacy golden world has 639 ASes). Real peering
+// decisions get more selective as the candidate pool grows: average
+// degree stays near-constant while N grows by orders of magnitude, so
+// the per-pair admission rate must fall roughly like 1/N. The log-score
+// penalty implements that decay.
+const worldCutoff = 650
+
+func globalPenalty(n int) float64 {
+	if n <= worldCutoff {
+		return 0
+	}
+	return 1.5 * math.Log(float64(n)/worldCutoff)
+}
+
+// densityPenalty is subtracted from the bilateral peering score for
+// pairs claimed at a metro with more than denseCutoff members: log-law
+// selectivity so link counts grow near-linearly (not quadratically) with
+// metro population.
+func densityPenalty(members int) float64 {
+	if members <= denseCutoff {
+		return 0
+	}
+	return 0.55 * math.Log(float64(members)/denseCutoff)
+}
+
 func (c *Config) applyDefaults() {
 	if c.Metros == nil {
 		c.Metros = DefaultMetros(1.0)
@@ -118,6 +278,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.NumArchetypes == 0 {
 		c.NumArchetypes = 10
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -220,6 +383,7 @@ func Generate(cfg Config) *World {
 	w.buildLatent(rng)
 	w.buildPeering(rng)
 	w.assignTransitMetros(rng)
+	w.G.Compact()
 	w.buildTruthMatrices()
 	w.buildFacilities(rng)
 	w.placeProbes(rng)
@@ -280,7 +444,6 @@ func (w *World) buildASes(rng *rand.Rand) {
 			AddrSpace:         1 << (20 + rng.Intn(4)),
 			Country:           rng.Intn(len(w.G.Countries)),
 			Metros:            append([]int(nil), allMetros...),
-			RouteServer:       map[int]bool{},
 			ConsistentRouting: false,
 		}
 		nextASN++
@@ -297,14 +460,17 @@ func (w *World) buildASes(rng *rand.Rand) {
 			AddrSpace:         1 << (18 + rng.Intn(5)),
 			Country:           rng.Intn(len(w.G.Countries)),
 			Metros:            append([]int(nil), allMetros...),
-			RouteServer:       map[int]bool{},
 			ConsistentRouting: false,
 		}
 		nextASN++
 		w.G.AddAS(a)
 	}
 	// Ordinary ASes per metro. Some get multi-metro footprints: extra
-	// metros biased toward the same country/continent.
+	// metros biased toward the same country/continent. The scope-ranked
+	// candidate list depends only on the home metro, so it is computed
+	// once per metro instead of once per AS (the all-metros sort per AS
+	// dominated generation time at Internet scale).
+	ranked := w.rankExtraMetros()
 	for mi, ms := range w.Cfg.Metros {
 		for k := 0; k < ms.NumASes; k++ {
 			var class asgraph.Class
@@ -319,22 +485,21 @@ func (w *World) buildASes(rng *rand.Rand) {
 				class = cm.class
 			}
 			a := &asgraph.AS{
-				ASN:         nextASN,
-				Class:       class,
-				Country:     w.G.Metros[mi].Country,
-				Metros:      []int{mi},
-				RouteServer: map[int]bool{},
+				ASN:     nextASN,
+				Class:   class,
+				Country: w.G.Metros[mi].Country,
+				Metros:  []int{mi},
 			}
 			nextASN++
 			w.decorateOrdinary(a, rng)
-			w.extendFootprint(a, mi, rng)
+			w.extendFootprint(a, mi, ranked[mi], rng)
 			w.G.AddAS(a)
 		}
 	}
 	// Cache metro membership.
-	for _, a := range w.G.ASes {
-		for _, m := range a.Metros {
-			w.G.Metros[m].Members = append(w.G.Metros[m].Members, a.Index)
+	for i := range w.G.ASes {
+		for _, m := range w.G.ASes[i].Metros {
+			w.G.Metros[m].Members = append(w.G.Metros[m].Members, i)
 		}
 	}
 	for _, m := range w.G.Metros {
@@ -379,9 +544,49 @@ func (w *World) decorateOrdinary(a *asgraph.AS, rng *rand.Rand) {
 
 func pick[T any](rng *rand.Rand, choices ...T) T { return choices[rng.Intn(len(choices))] }
 
+// rankedMetro is one candidate extra-footprint metro with its admission
+// probability (by geographic scope from the home metro).
+type rankedMetro struct {
+	m int
+	p float64
+}
+
+// rankExtraMetros precomputes, per home metro, every other metro sorted
+// by (scope, index) with its scope-derived admission probability — the
+// exact candidate order the historical per-AS sort produced.
+func (w *World) rankExtraMetros() [][]rankedMetro {
+	probs := [...]float64{0.8, 0.55, 0.3, 0.12}
+	out := make([][]rankedMetro, len(w.G.Metros))
+	for home := range w.G.Metros {
+		type cand struct {
+			m     int
+			scope asgraph.GeoScope
+		}
+		cands := make([]cand, 0, len(w.G.Metros)-1)
+		for m := range w.G.Metros {
+			if m == home {
+				continue
+			}
+			cands = append(cands, cand{m, w.G.ScopeOfMetros(home, m)})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].scope != cands[j].scope {
+				return cands[i].scope < cands[j].scope
+			}
+			return cands[i].m < cands[j].m
+		})
+		rm := make([]rankedMetro, len(cands))
+		for i, c := range cands {
+			rm[i] = rankedMetro{m: c.m, p: probs[c.scope]}
+		}
+		out[home] = rm
+	}
+	return out
+}
+
 // extendFootprint may add more metros to an AS, preferring geographically
 // close ones, so that transferability (Appx. E.4) is exercised.
-func (w *World) extendFootprint(a *asgraph.AS, home int, rng *rand.Rand) {
+func (w *World) extendFootprint(a *asgraph.AS, home int, ranked []rankedMetro, rng *rand.Rand) {
 	var extra int
 	switch a.Class {
 	case asgraph.LargeISP, asgraph.Transit:
@@ -398,31 +603,12 @@ func (w *World) extendFootprint(a *asgraph.AS, home int, rng *rand.Rand) {
 	if extra == 0 {
 		return
 	}
-	// Rank candidate metros by geographic scope from home.
-	type cand struct {
-		m     int
-		scope asgraph.GeoScope
-	}
-	var cands []cand
-	for m := range w.G.Metros {
-		if m == home {
-			continue
-		}
-		cands = append(cands, cand{m, w.G.ScopeOfMetros(home, m)})
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].scope != cands[j].scope {
-			return cands[i].scope < cands[j].scope
-		}
-		return cands[i].m < cands[j].m
-	})
-	for _, c := range cands {
+	for _, c := range ranked {
 		if extra == 0 {
 			break
 		}
 		// Closer metros are much more likely to be added.
-		p := [...]float64{0.8, 0.55, 0.3, 0.12}[c.scope]
-		if rng.Float64() < p {
+		if rng.Float64() < c.p {
 			a.Metros = append(a.Metros, c.m)
 			extra--
 		}
@@ -436,8 +622,9 @@ func (w *World) extendFootprint(a *asgraph.AS, home int, rng *rand.Rand) {
 // reachability. The result is a connected valley-free substrate.
 func (w *World) buildTransit(rng *rand.Rand) {
 	byClass := map[asgraph.Class][]int{}
-	for _, a := range w.G.ASes {
-		byClass[a.Class] = append(byClass[a.Class], a.Index)
+	for i := range w.G.ASes {
+		c := w.G.ASes[i].Class
+		byClass[c] = append(byClass[c], i)
 	}
 	tier1s := byClass[asgraph.Tier1]
 	// Tier1 full mesh peering.
@@ -467,11 +654,38 @@ func (w *World) buildTransit(rng *rand.Rand) {
 		}
 	}
 	// Edge networks buy from 1-3 providers sharing a metro, preferring
-	// Transit then LargeISP.
+	// Transit then LargeISP. Candidates are collected from per-metro
+	// upstream buckets (not an all-upstreams scan) and ordered by global
+	// upstream rank, which reproduces the order of the historical
+	// filtered scan.
 	upstream := append(append([]int(nil), byClass[asgraph.Transit]...), byClass[asgraph.LargeISP]...)
+	upstreamRank := make(map[int]int, len(upstream))
+	for r, u := range upstream {
+		upstreamRank[u] = r
+	}
+	upstreamAt := make([][]int, len(w.G.Metros))
+	for _, u := range upstream {
+		for _, m := range w.G.ASes[u].Metros {
+			upstreamAt[m] = append(upstreamAt[m], u)
+		}
+	}
+	seen := make([]int, w.G.N())
+	for i := range seen {
+		seen[i] = -1
+	}
+	var cands []int
 	for _, cls := range []asgraph.Class{asgraph.Content, asgraph.Enterprise, asgraph.Stub} {
 		for _, i := range byClass[cls] {
-			cands := w.colocatedUpstreams(i, upstream)
+			cands = cands[:0]
+			for _, m := range w.G.ASes[i].Metros {
+				for _, u := range upstreamAt[m] {
+					if u != i && seen[u] != i {
+						seen[u] = i
+						cands = append(cands, u)
+					}
+				}
+			}
+			sort.Slice(cands, func(x, y int) bool { return upstreamRank[cands[x]] < upstreamRank[cands[y]] })
 			if len(cands) == 0 {
 				// Fall back to a Tier1 (global footprint guarantees
 				// colocation).
@@ -485,19 +699,6 @@ func (w *World) buildTransit(rng *rand.Rand) {
 			}
 		}
 	}
-}
-
-func (w *World) colocatedUpstreams(i int, upstream []int) []int {
-	var out []int
-	for _, u := range upstream {
-		if u == i {
-			continue
-		}
-		if len(w.G.SharedMetros(i, u)) > 0 {
-			out = append(out, u)
-		}
-	}
-	return out
 }
 
 func (w *World) addTransitLink(customer, provider int) {
@@ -529,8 +730,9 @@ func (w *World) buildIXPs(rng *rand.Rand) {
 			}
 			w.G.IXPs = append(w.G.IXPs, ix)
 			m.IXPs = append(m.IXPs, ix.Index)
+			joinScale := ixpJoinScale(len(m.Members))
 			for _, ai := range m.Members {
-				a := w.G.ASes[ai]
+				a := &w.G.ASes[ai]
 				joinP := map[asgraph.PeeringPolicy]float64{
 					asgraph.Open:        0.75,
 					asgraph.Selective:   0.45,
@@ -539,9 +741,10 @@ func (w *World) buildIXPs(rng *rand.Rand) {
 				if a.Class == asgraph.Tier1 {
 					joinP = 0.15
 				}
+				joinP *= joinScale
 				if rng.Float64() < joinP {
 					ix.Members = append(ix.Members, ai)
-					a.IXPs = append(a.IXPs, ix.Index)
+					a.AddIXP(ix.Index)
 					// Route-server participation (multilateral peering).
 					rsP := 0.7
 					if a.Policy == asgraph.Selective {
@@ -550,7 +753,7 @@ func (w *World) buildIXPs(rng *rand.Rand) {
 					if a.Policy == asgraph.Restrictive {
 						rsP = 0.08
 					}
-					a.RouteServer[ix.Index] = rng.Float64() < rsP
+					a.SetRouteServer(ix.Index, rng.Float64() < rsP)
 				}
 			}
 		}
@@ -574,7 +777,8 @@ func (w *World) buildLatent(rng *rand.Rand) {
 	countryDir := randDirs(rng, len(w.G.Countries), k, 0.25)
 	archDir := randDirs(rng, w.Cfg.NumArchetypes, k, 0.9)
 	w.Latent = mat.New(w.G.N(), k)
-	for i, a := range w.G.ASes {
+	for i := range w.G.ASes {
+		a := &w.G.ASes[i]
 		arch := archDir[rng.Intn(len(archDir))]
 		row := w.Latent.Row(i)
 		for d := 0; d < k; d++ {
@@ -628,42 +832,202 @@ func complementarity(a, b asgraph.TrafficProfile) float64 {
 	return -0.8 * in(a) * in(b) // opposite signs ⇒ positive reward
 }
 
+// peerCand is one colocated AS pair that may materialize links: either
+// the latent score clears the would-peer bar, or the two ASes share a
+// route server (multilateral peering can force a link regardless of
+// score). Everything rng-dependent is deferred to the sequential commit
+// pass; the candidate itself is a pure function of the graph.
+type peerCand struct {
+	a, b      int32
+	wouldPeer bool
+	hasRS     bool
+}
+
 // buildPeering decides, per pair of colocated ASes, whether they would
 // peer, then materializes the link at each shared metro with probability
 // LinkMaterializeProb (route-server co-members always link at that IXP's
 // metro). Tier-1s do not peer downward; their interconnections with
 // non-Tier1 ASes are the transit links.
+//
+// The build is two-phase. Phase 1 enumerates candidates per metro over a
+// worker pool: each metro scans only its own member pairs, and a pair
+// colocated at several metros is claimed exactly once — by its lowest
+// shared metro (footprint-bitset first-common-bit test). Phase 2 sorts
+// the merged candidates into canonical (a,b) order and replays the rng
+// stream sequentially, reproducing the historical all-pairs generator
+// draw for draw — so a seed fully determines the world at any worker
+// count, and legacy-scale worlds are bit-identical to the old generator.
 func (w *World) buildPeering(rng *rand.Rand) {
 	n := w.G.N()
 	k := w.Cfg.LatentDim
-	if len(w.G.Metros) > 64 {
-		panic("netsim: more than 64 metros not supported")
-	}
-	// Footprint bitmasks make the O(n²) colocation test cheap.
-	foot := make([]uint64, n)
-	for i, a := range w.G.ASes {
+	g := w.G
+
+	// Local flat bitsets: footprint, and route-server membership (rs bit
+	// implies IXP membership, so rsA∧rsB ≠ 0 ⇔ shared route server).
+	mw := asgraph.BitsetWords(len(g.Metros))
+	xw := asgraph.BitsetWords(len(g.IXPs))
+	foot := make([]uint64, n*mw)
+	rs := make([]uint64, n*xw)
+	for i := 0; i < n; i++ {
+		a := &g.ASes[i]
+		fb := asgraph.Bitset(foot[i*mw : (i+1)*mw])
 		for _, m := range a.Metros {
-			foot[i] |= 1 << uint(m)
+			fb.Set(m)
+		}
+		rb := asgraph.Bitset(rs[i*xw : (i+1)*xw])
+		for _, x := range a.IXPs {
+			if a.OnRouteServer(x) {
+				rb.Set(x)
+			}
 		}
 	}
-	for a := 0; a < n; a++ {
-		asA := w.G.ASes[a]
-		for b := a + 1; b < n; b++ {
-			if foot[a]&foot[b] == 0 {
+	footOf := func(i int32) asgraph.Bitset { return asgraph.Bitset(foot[int(i)*mw : (int(i)+1)*mw]) }
+	rsOf := func(i int32) asgraph.Bitset { return asgraph.Bitset(rs[int(i)*xw : (int(i)+1)*xw]) }
+
+	// Phase 1: per-metro candidate enumeration over a bounded worker
+	// pool. Each metro produces an independent candidate slice; claiming
+	// a pair at its lowest shared metro deduplicates without any shared
+	// state.
+	cands := w.enumeratePeerCandidates(footOf, rsOf, k)
+
+	// Phase 2: sequential, ordered materialization — the only part that
+	// consumes rng. Candidates are already in canonical (a,b) order.
+	var sharedScratch, rsScratch []int
+	rsMetros := map[int]bool{}
+	for _, c := range cands {
+		a, b := int(c.a), int(c.b)
+		pr := Pair{A: a, B: b}
+		// Shared route server forces multilateral peering.
+		clear(rsMetros)
+		if c.hasRS {
+			rsScratch = rsOf(c.a).AppendCommon(rsOf(c.b), rsScratch[:0])
+			for _, ix := range rsScratch {
+				if rng.Float64() < 0.95 {
+					rsMetros[g.IXPs[ix].Metro] = true
+				}
+			}
+		}
+		if !c.wouldPeer && len(rsMetros) == 0 {
+			continue
+		}
+		sharedScratch = footOf(c.a).AppendCommon(footOf(c.b), sharedScratch[:0])
+		var metros []int
+		for _, m := range sharedScratch {
+			if rsMetros[m] {
+				metros = append(metros, m)
 				continue
 			}
-			asB := w.G.ASes[b]
-			pr := MakePair(a, b)
-			if _, exists := w.Rel[pr]; exists {
-				continue // already transit or Tier1-mesh
+			if c.wouldPeer && rng.Float64() < w.Cfg.LinkMaterializeProb {
+				metros = append(metros, m)
 			}
-			shared := sharedFromMask(foot[a] & foot[b])
-			// Tier1s only peer with each other (handled in buildTransit).
-			if asA.Class == asgraph.Tier1 || asB.Class == asgraph.Tier1 {
+		}
+		if len(metros) == 0 && c.wouldPeer {
+			metros = append(metros, sharedScratch[rng.Intn(len(sharedScratch))])
+		}
+		if len(metros) == 0 {
+			continue
+		}
+		g.AddPeerUnique(a, b)
+		w.Rel[pr] = asgraph.P2P
+		w.LinkMetros[pr] = metros
+	}
+	// Tier1 mesh links interconnect everywhere.
+	for pr, rel := range w.Rel {
+		if rel == asgraph.P2P && w.LinkMetros[pr] == nil {
+			w.LinkMetros[pr] = g.SharedMetros(pr.A, pr.B)
+		}
+	}
+}
+
+// enumeratePeerCandidates fans metros out over Cfg.Workers goroutines.
+// For metro m each member pair (a<b) is tested: skip Tier1s, skip pairs
+// whose lowest shared metro is not m (they are claimed elsewhere), skip
+// transit-linked pairs, then score. Pairs that would peer or share a
+// route server become candidates. The merged result is sorted into
+// canonical (a,b) order, which makes the outcome independent of both the
+// worker count and the metro partition.
+func (w *World) enumeratePeerCandidates(footOf func(int32) asgraph.Bitset, rsOf func(int32) asgraph.Bitset, k int) []peerCand {
+	g := w.G
+	nMetros := len(g.Metros)
+	perMetro := make([][]peerCand, nMetros)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	workers := w.Cfg.Workers
+	if workers > nMetros {
+		workers = nMetros
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for m := range work {
+				perMetro[m] = w.scanMetroPairs(m, footOf, rsOf, k)
+			}
+		}()
+	}
+	for m := 0; m < nMetros; m++ {
+		work <- m
+	}
+	close(work)
+	wg.Wait()
+
+	total := 0
+	for _, pc := range perMetro {
+		total += len(pc)
+	}
+	out := make([]peerCand, 0, total)
+	for _, pc := range perMetro {
+		out = append(out, pc...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].a != out[j].a {
+			return out[i].a < out[j].a
+		}
+		return out[i].b < out[j].b
+	})
+	return out
+}
+
+// scanMetroPairs scores the member pairs of one metro, claiming only the
+// pairs whose lowest shared metro is this one.
+func (w *World) scanMetroPairs(m int, footOf func(int32) asgraph.Bitset, rsOf func(int32) asgraph.Bitset, k int) []peerCand {
+	g := w.G
+	members := g.Metros[m].Members
+	penalty := densityPenalty(len(members)) + globalPenalty(g.N())
+	var out []peerCand
+	for ii := 0; ii < len(members); ii++ {
+		a := members[ii]
+		asA := &g.ASes[a]
+		if asA.Class == asgraph.Tier1 {
+			continue // Tier1s only peer with each other (buildTransit)
+		}
+		fa := footOf(int32(a))
+		ra := w.Latent.Row(a)
+		rsA := rsOf(int32(a))
+		biasA := openBias(asA.Policy)
+		for jj := ii + 1; jj < len(members); jj++ {
+			b := members[jj]
+			asB := &g.ASes[b]
+			if asB.Class == asgraph.Tier1 {
+				continue
+			}
+			// Claim each colocated pair exactly once: at the lowest
+			// metro both are present in.
+			fb := footOf(int32(b))
+			if fa.FirstCommon(fb) != m {
+				continue
+			}
+			// Transit-linked pairs were decided in buildTransit. The
+			// provider lists are tiny (≤3 for edges), so two scans
+			// replace the historical Rel-map lookup.
+			if g.HasProvider(a, b) || g.HasProvider(b, a) {
 				continue
 			}
 			var dot float64
-			ra, rb := w.Latent.Row(a), w.Latent.Row(b)
+			rb := w.Latent.Row(b)
 			for d := 0; d < k; d++ {
 				dot += ra[d] * rb[d]
 			}
@@ -671,56 +1035,17 @@ func (w *World) buildPeering(rng *rand.Rand) {
 			// but do not determine peering (Fig. 1's moderate
 			// correlations), so link history carries signal that features
 			// alone cannot provide.
-			score := 0.55*dot + 0.55*(openBias(asA.Policy)+openBias(asB.Policy)) +
-				0.6*complementarity(asA.Traffic, asB.Traffic)
-			if w.G.ASes[a].Country == w.G.ASes[b].Country {
+			score := 0.55*dot + 0.55*(biasA+openBias(asB.Policy)) +
+				0.6*complementarity(asA.Traffic, asB.Traffic) - penalty
+			if asA.Country == asB.Country {
 				score += 0.3
 			}
-			// Shared route server forces multilateral peering.
-			rsMetros := map[int]bool{}
-			for _, ix := range w.G.SharedIXPs(a, b) {
-				if asA.RouteServer[ix] && asB.RouteServer[ix] && rng.Float64() < 0.95 {
-					rsMetros[w.G.IXPs[ix].Metro] = true
-				}
-			}
 			wouldPeer := score > 3.8
-			if !wouldPeer && len(rsMetros) == 0 {
+			hasRS := rsA.Intersects(rsOf(int32(b)))
+			if !wouldPeer && !hasRS {
 				continue
 			}
-			var metros []int
-			for _, m := range shared {
-				if rsMetros[m] {
-					metros = append(metros, m)
-					continue
-				}
-				if wouldPeer && rng.Float64() < w.Cfg.LinkMaterializeProb {
-					metros = append(metros, m)
-				}
-			}
-			if len(metros) == 0 && wouldPeer {
-				metros = append(metros, shared[rng.Intn(len(shared))])
-			}
-			if len(metros) == 0 {
-				continue
-			}
-			w.G.AddPeer(a, b)
-			w.Rel[pr] = asgraph.P2P
-			w.LinkMetros[pr] = metros
-		}
-	}
-	// Tier1 mesh links interconnect everywhere.
-	for pr, rel := range w.Rel {
-		if rel == asgraph.P2P && w.LinkMetros[pr] == nil {
-			w.LinkMetros[pr] = w.G.SharedMetros(pr.A, pr.B)
-		}
-	}
-}
-
-func sharedFromMask(mask uint64) []int {
-	var out []int
-	for m := 0; mask != 0; m, mask = m+1, mask>>1 {
-		if mask&1 != 0 {
-			out = append(out, m)
+			out = append(out, peerCand{a: int32(a), b: int32(b), wouldPeer: wouldPeer, hasRS: hasRS})
 		}
 	}
 	return out
@@ -744,8 +1069,10 @@ func (w *World) assignTransitMetros(rng *rand.Rand) {
 		}
 		return pairs[i].B < pairs[j].B
 	})
+	var shared []int
 	for _, pr := range pairs {
-		shared := w.G.SharedMetros(pr.A, pr.B)
+		fa, fb := w.G.ASes[pr.A].Footprint(), w.G.ASes[pr.B].Footprint()
+		shared = fa.AppendCommon(fb, shared[:0])
 		if len(shared) == 0 {
 			// Customer picked a Tier1 fallback without colocation; place
 			// the interconnect at the customer's home metro (a remote
@@ -756,7 +1083,7 @@ func (w *World) assignTransitMetros(rng *rand.Rand) {
 			} else {
 				cust = pr.B
 			}
-			shared = []int{w.G.ASes[cust].Metros[0]}
+			shared = append(shared, w.G.ASes[cust].Metros[0])
 		}
 		var metros []int
 		for _, m := range shared {
@@ -855,7 +1182,7 @@ func (w *World) HasProbe(i int) bool { return w.probeSet[i] }
 // vantage point (the "VP in customer cone" categories of §3.3.2).
 func (w *World) ProbeInCone(i int) bool {
 	for _, c := range w.G.CustomerCone(i) {
-		if w.probeSet[c] {
+		if w.probeSet[int(c)] {
 			return true
 		}
 	}

@@ -79,7 +79,8 @@ func TestEveryASHasProviderPathToTier1(t *testing.T) {
 		for len(frontier) > 0 && !found {
 			var next []int
 			for _, x := range frontier {
-				for _, p := range w.G.Providers[x] {
+				for _, p32 := range w.G.Providers[x] {
+					p := int(p32)
 					if seen[p] {
 						continue
 					}
@@ -166,12 +167,12 @@ func TestRouteServerPairsLinked(t *testing.T) {
 	for _, ix := range w.G.IXPs {
 		for i := 0; i < len(ix.Members); i++ {
 			a := ix.Members[i]
-			if !w.G.ASes[a].RouteServer[ix.Index] {
+			if !w.G.ASes[a].OnRouteServer(ix.Index) {
 				continue
 			}
 			for j := i + 1; j < len(ix.Members); j++ {
 				b := ix.Members[j]
-				if !w.G.ASes[b].RouteServer[ix.Index] {
+				if !w.G.ASes[b].OnRouteServer(ix.Index) {
 					continue
 				}
 				total++

@@ -408,7 +408,8 @@ func (s *Selector) targetsFor(j int) []tgtCat {
 	}
 	// Direct customers stand in for the full cone (keeps enumeration
 	// bounded; deeper cone members add little signal).
-	for _, c := range s.G.Customers[asJ] {
+	for _, c32 := range s.G.Customers[asJ] {
+		c := int(c32)
 		if !s.hitlist[c] {
 			continue
 		}

@@ -194,7 +194,7 @@ func (e *Engine) maybeDetour(path []int, routes bgp.Routes, flow int, sc *traceS
 	if len(provs) == 0 {
 		return path
 	}
-	p := provs[int(ipmap.Hash3(flow, x, 0x11))%len(provs)]
+	p := int(provs[int(ipmap.Hash3(flow, x, 0x11))%len(provs)])
 	var alt []int
 	if sc != nil {
 		sc.alt = routes.AppendPathFrom(sc.alt[:0], p)

@@ -253,7 +253,8 @@ func TestDetourBehavior(t *testing.T) {
 		if a.ConsistentRouting || len(w.G.Peers[a.Index]) == 0 || len(w.G.Providers[a.Index]) == 0 {
 			continue
 		}
-		for _, peer := range w.G.Peers[a.Index] {
+		for _, peer32 := range w.G.Peers[a.Index] {
+			peer := int(peer32)
 			base := e.ASPath(a.Index, peer)
 			if len(base) != 2 {
 				continue // only direct first-hop peer paths are detour-eligible
@@ -290,7 +291,8 @@ func TestDetourBehavior(t *testing.T) {
 		if !a.ConsistentRouting {
 			continue
 		}
-		for _, peer := range w.G.Peers[a.Index] {
+		for _, peer32 := range w.G.Peers[a.Index] {
+			peer := int(peer32)
 			base := e.ASPath(a.Index, peer)
 			if len(base) != 2 {
 				continue

@@ -23,3 +23,8 @@ func GenerateWorld(cfg WorldConfig) *World { return netsim.Generate(cfg) }
 // DefaultMetros returns the default metro set scaled by the given factor
 // (1.0 ≈ paper-like sizes; 0.1–0.3 for laptop-scale experiments).
 func DefaultMetros(scale float64) []MetroSpec { return netsim.DefaultMetros(scale) }
+
+// InternetMetros synthesizes a many-metro set sized for roughly nASes
+// ASes (heavy-tailed metro sizes over a realistic geography) — the
+// configuration for Internet-scale worlds (~100k ASes, worldgen -ases).
+func InternetMetros(nASes int) []MetroSpec { return netsim.InternetMetros(nASes) }
