@@ -4,9 +4,9 @@ GO ?= go
 # METASCRITIC_BENCH_SCALE, select the completion / rank-sweep / propagation
 # micro-benchmarks, record machine-readable results for later PRs to diff.
 BENCH_SCALE ?= 0.05
-BENCH_PATTERN = BenchmarkComplete|BenchmarkRankEstimate|BenchmarkPropagate$$|BenchmarkPropagateInto|BenchmarkRoutesToAll|BenchmarkVisibleLinks|BenchmarkRunMetro|BenchmarkRunAll|BenchmarkStore|BenchmarkEstimateHandler|BenchmarkSnapshotLoad|BenchmarkGenerate
+BENCH_PATTERN = BenchmarkComplete|BenchmarkRankEstimate|BenchmarkPropagate$$|BenchmarkPropagateInto|BenchmarkRoutesToAll|BenchmarkVisibleLinks|BenchmarkRunMetro|BenchmarkRunAll|BenchmarkStore|BenchmarkEstimateHandler|BenchmarkSnapshotLoad|BenchmarkGenerate|BenchmarkEvolve|BenchmarkIncrementalRescore
 BENCH_PKGS = . ./internal/als ./internal/rank ./internal/bgp ./internal/obs ./internal/api ./internal/api/snapshot ./internal/engine ./internal/netsim
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 BENCH_BASELINE ?=
 # The most recent recorded report other than BENCH_OUT becomes the
 # default baseline, so every new report carries before/after deltas
@@ -14,7 +14,7 @@ BENCH_BASELINE ?=
 BENCH_PREV = $(lastword $(sort $(filter-out $(BENCH_OUT),$(wildcard BENCH_PR*.json))))
 PROFILE_DIR ?= profiles
 
-.PHONY: build test check bench bench-engine bench-compare profile race-run race-measure race-obs race-bgp race-api race-netsim clean
+.PHONY: build test check bench bench-engine bench-compare profile race-run race-measure race-obs race-bgp race-api race-netsim race-stream clean
 
 build:
 	$(GO) build ./...
@@ -34,10 +34,17 @@ check:
 # writes $(BENCH_OUT). The baseline defaults to the previous BENCH_PR*.json
 # (so reports always carry before/after deltas); set BENCH_BASELINE to a
 # prior run's text output to override.
+# -p 1 serializes the per-package test binaries: by default go test
+# runs them concurrently, which lets one package's benchmark contend
+# with another's and inflates wall-clock numbers by 20-40%.
+# (No pipe into tee here: under plain sh the pipeline would report
+# tee's exit status and a benchmark failure would silently produce a
+# partial report.)
 bench:
-	METASCRITIC_BENCH_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' \
+	METASCRITIC_BENCH_SCALE=$(BENCH_SCALE) $(GO) test -p 1 -run '^$$' \
 		-bench '$(BENCH_PATTERN)' -benchmem -benchtime 2s $(BENCH_PKGS) \
-		| tee /tmp/metascritic_bench.txt
+		> /tmp/metascritic_bench.txt || { cat /tmp/metascritic_bench.txt; exit 1; }
+	cat /tmp/metascritic_bench.txt
 	$(GO) run ./cmd/benchjson -in /tmp/metascritic_bench.txt \
 		$(if $(BENCH_BASELINE),-before $(BENCH_BASELINE),$(if $(BENCH_PREV),-before-json $(BENCH_PREV))) \
 		-scale $(BENCH_SCALE) -out $(BENCH_OUT)
@@ -47,7 +54,11 @@ bench-engine:
 
 # bench-compare diffs the two most recent recorded reports and fails on
 # a >10% wall-clock regression in any end-to-end benchmark (RunMetro /
-# RunAll) — the pre-merge perf gate.
+# RunAll) — the pre-merge perf gate. When the newer report embeds a
+# same-session baseline (bench run with BENCH_BASELINE=<bench text of
+# the prior tree re-run on this machine>), the gate compares against
+# that instead of the older report's absolutes, so hardware drift
+# between recording sessions cannot fake a regression.
 bench-compare:
 	@set -- $$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -n 2); \
 	if [ $$# -lt 2 ]; then echo "bench-compare: need at least two BENCH_PR*.json reports"; exit 1; fi; \
@@ -104,6 +115,15 @@ race-api:
 # including the worker-count invariance test at several pool sizes.
 race-netsim:
 	$(GO) test -race ./internal/netsim/ ./internal/asgraph/ ./internal/graphmetrics/
+
+# race-stream vets and races the streaming path end to end: netsim
+# evolution (replayable EventBatches), obs epoch advance / windowed
+# refresh, the root Evolve/Rescore composition, and the daemon's ingest
+# endpoint serving readers while churn is absorbed.
+race-stream:
+	$(GO) vet ./internal/netsim/ ./internal/obs/ ./internal/api/... .
+	$(GO) test -race -run 'Evolve|Epoch|Stale|Stream|Rescore|Ingest' \
+		./internal/netsim/ ./internal/obs/ ./internal/api/... .
 
 clean:
 	$(GO) clean ./...

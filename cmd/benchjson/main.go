@@ -257,6 +257,13 @@ func endToEnd(name string) bool {
 // threshold (relative ns/op increase). Micro-benchmarks are printed for
 // context but never fail the gate — they are noisier and their cost is
 // already visible inside the end-to-end numbers.
+//
+// When the newer report embeds its own 'before' measurements (recorded
+// by re-running the baseline tree in the same bench session via
+// BENCH_BASELINE), those take precedence over the older report's
+// numbers: absolute ns/op is only comparable within one machine and
+// session, and a report recorded on slower hardware would otherwise
+// trip the gate without any code regression.
 func compareReports(w io.Writer, oldPath, newPath string, threshold float64) error {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
@@ -278,12 +285,17 @@ func compareReports(w io.Writer, oldPath, newPath string, threshold float64) err
 	}
 
 	var regressions []string
+	embedded := 0
 	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	for _, e := range newRep.Benchmarks {
 		if e.After == nil {
 			continue
 		}
 		old, ok := oldBy[e.Package+"\t"+e.Name]
+		if e.Before != nil && e.Before.NsPerOp > 0 {
+			old, ok = e.Before, true
+			embedded++
+		}
 		if !ok || old.NsPerOp <= 0 {
 			fmt.Fprintf(w, "%-60s %14s %14.0f %8s\n", e.Name, "-", e.After.NsPerOp, "new")
 			continue
@@ -299,6 +311,9 @@ func compareReports(w io.Writer, oldPath, newPath string, threshold float64) err
 			}
 		}
 		fmt.Fprintf(w, "%-60s %14.0f %14.0f %+7.1f%%%s\n", e.Name, old.NsPerOp, e.After.NsPerOp, 100*delta, marker)
+	}
+	if embedded > 0 {
+		fmt.Fprintf(w, "(%d benchmark(s) compared against %s's embedded same-session baseline)\n", embedded, newPath)
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d end-to-end benchmark(s) regressed more than %.0f%% (%s → %s):\n  %s",

@@ -5,23 +5,39 @@
 // (b) the topology extended with metAScritic's measured and inferred
 // links — against the ground-truth catchment.
 //
+// With -watch it instead becomes a standing route-anomaly monitor over a
+// streaming world: every tick one evolution batch churns the topology,
+// the route cache absorbs it through scoped invalidation, and the
+// monitors' public view is re-collected and diffed. View deltas that no
+// ground-truth link event explains are flagged as anomalies — the
+// re-routing shifts a real monitor would investigate as possible
+// hijacks — within a single refresh interval of the churn.
+//
 // Usage:
 //
 //	hijackmon [-scale 0.2] [-seed 1] [-victim Sydney] [-attacker Tokyo] [-thr 0.5]
+//	hijackmon -watch [-ticks 5] [-interval 2s] [-churn 8] [-dests 64]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
+	"time"
 
 	"metascritic"
+	"metascritic/internal/asgraph"
+	"metascritic/internal/bgp"
 	"metascritic/internal/cliflags"
 	"metascritic/internal/engine"
 	"metascritic/internal/forensics"
+	"metascritic/internal/netsim"
 )
 
 func main() {
@@ -35,6 +51,11 @@ func run() error {
 	victimMetro := flag.String("victim", "Sydney", "metro of the legitimate announcement")
 	attackerMetro := flag.String("attacker", "Tokyo", "metro of the hijacking announcement")
 	thr := flag.Float64("thr", 0.5, "link threshold λ for inferred links")
+	watchMode := flag.Bool("watch", false, "standing monitor: churn the world every tick and flag public-view anomalies")
+	ticks := flag.Int("ticks", 5, "number of watch ticks (0 = run until interrupted)")
+	interval := flag.Duration("interval", 2*time.Second, "delay between watch ticks")
+	churn := flag.Int("churn", 8, "link events drawn per watch tick (downs + ups + depeerings)")
+	dests := flag.Int("dests", 64, "destinations sampled for the watch public view")
 	pf := cliflags.DefaultPipeline()
 	pf.Scale = 0.2
 	ef := cliflags.DefaultEngine()
@@ -53,6 +74,16 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *watchMode {
+		_, err := watch(ctx, os.Stdout, pf, watchOptions{
+			Ticks:    *ticks,
+			Interval: *interval,
+			Churn:    *churn,
+			Dests:    *dests,
+		})
+		return err
+	}
 
 	w, pipe, _ := pf.Build()
 	g := w.G
@@ -99,4 +130,157 @@ func run() error {
 		100*(rep.Extended.Accuracy-rep.Public.Accuracy), rep.ExtraLinks)
 	fmt.Println("(single configuration; the Fig. 7 experiment aggregates 90 of them)")
 	return nil
+}
+
+// --- watch mode ---
+
+// watchOptions sizes the standing monitor.
+type watchOptions struct {
+	// Ticks bounds the loop; 0 runs until the context is canceled.
+	Ticks int
+	// Interval is the pause between ticks (0 for back-to-back, as tests
+	// use).
+	Interval time.Duration
+	// Churn is the number of link events drawn per tick, split across
+	// downs, ups and depeerings.
+	Churn int
+	// Dests is the number of destinations the public view samples.
+	Dests int
+}
+
+// tickReport is one tick's outcome: the view delta split into deltas a
+// ground-truth link event explains and unexplained re-routes (the
+// flagged anomalies).
+type tickReport struct {
+	Tick                  int
+	Epoch                 uint32
+	Events, NewASes       int
+	Invalidated, Retained int
+	// Withdrawn/Appeared count links that left/entered the public view;
+	// ExplainedDown/ExplainedUp are the subsets matching a batch event on
+	// that exact pair.
+	Withdrawn, Appeared        int
+	ExplainedDown, ExplainedUp int
+	// Anomalies are the unexplained deltas, formatted "ASx—ASy lost|new",
+	// sorted (capped at 5 in the printed output, complete here).
+	Anomalies []string
+}
+
+// watch runs the standing monitor: per tick it snapshots the monitors'
+// public view, draws one evolution batch through the full streaming
+// pipeline (topology mirror, scoped route-cache invalidation, address
+// plan, evidence epoch), re-collects the view and diffs. The whole loop
+// is a pure function of the pipeline flags, so equal seeds give
+// byte-identical reports at any tick pacing.
+func watch(ctx context.Context, out io.Writer, pf cliflags.Pipeline, opts watchOptions) ([]tickReport, error) {
+	w, pipe, _ := pf.Build()
+	g := w.G
+	rng := rand.New(rand.NewSource(pf.Seed))
+
+	// Monitors are the worlds' probe-hosting ASes — the RIPE-Atlas-like
+	// public collectors whose best paths form the "public view" of §1.
+	seen := map[int]bool{}
+	var monitors []int
+	for _, pr := range w.Probes {
+		if !seen[pr.AS] {
+			seen[pr.AS] = true
+			monitors = append(monitors, pr.AS)
+		}
+	}
+	sort.Ints(monitors)
+
+	// Deterministic destination sample over the responsive ASes.
+	var pool []int
+	for i, resp := range w.Responsive {
+		if resp {
+			pool = append(pool, i)
+		}
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if opts.Dests > 0 && opts.Dests < len(pool) {
+		pool = pool[:opts.Dests]
+	}
+	sort.Ints(pool)
+
+	spec := netsim.EvolveSpec{
+		LinkDowns:  (opts.Churn + 2) / 3,
+		LinkUps:    (opts.Churn + 2) / 3,
+		Depeerings: opts.Churn / 3,
+	}
+	fmt.Fprintf(out, "watching %d monitors over %d destinations (%d ASes, seed %d, ~%d link events/tick)\n",
+		len(monitors), len(pool), g.N(), pf.Seed, spec.LinkDowns+spec.LinkUps+spec.Depeerings)
+
+	before := bgp.VisibleLinks(pipe.Engine.Cache, monitors, pool)
+	var reports []tickReport
+	for tick := 1; opts.Ticks <= 0 || tick <= opts.Ticks; tick++ {
+		if err := ctx.Err(); err != nil {
+			return reports, err
+		}
+		batch, st, err := pipe.Evolve(rng, spec)
+		if err != nil {
+			return reports, err
+		}
+		downs := map[asgraph.Pair]bool{}
+		ups := map[asgraph.Pair]bool{}
+		for _, ev := range batch.Events {
+			switch ev.Kind {
+			case netsim.LinkDown, netsim.Depeer:
+				downs[asgraph.MakePair(ev.A, ev.B)] = true
+			case netsim.LinkUp:
+				ups[asgraph.MakePair(ev.A, ev.B)] = true
+			}
+		}
+		after := bgp.VisibleLinks(pipe.Engine.Cache, monitors, pool)
+
+		rep := tickReport{
+			Tick: tick, Epoch: st.Epoch,
+			Events: st.Events, NewASes: st.NewASes,
+			Invalidated: st.Invalidated, Retained: st.Retained,
+		}
+		for l := range before {
+			if !after[l] {
+				rep.Withdrawn++
+				if downs[l] {
+					rep.ExplainedDown++
+				} else {
+					rep.Anomalies = append(rep.Anomalies,
+						fmt.Sprintf("AS%d—AS%d lost", g.ASes[l.A].ASN, g.ASes[l.B].ASN))
+				}
+			}
+		}
+		for l := range after {
+			if !before[l] {
+				rep.Appeared++
+				if ups[l] {
+					rep.ExplainedUp++
+				} else {
+					rep.Anomalies = append(rep.Anomalies,
+						fmt.Sprintf("AS%d—AS%d new", g.ASes[l.A].ASN, g.ASes[l.B].ASN))
+				}
+			}
+		}
+		sort.Strings(rep.Anomalies)
+		reports = append(reports, rep)
+
+		fmt.Fprintf(out, "tick %d (epoch %d): %d events, cache -%d/+%d retained, view -%d/+%d links (%d/%d explained), %d anomalous re-routes\n",
+			rep.Tick, rep.Epoch, rep.Events, rep.Invalidated, rep.Retained,
+			rep.Withdrawn, rep.Appeared, rep.ExplainedDown, rep.ExplainedUp, len(rep.Anomalies))
+		for i, a := range rep.Anomalies {
+			if i == 5 {
+				fmt.Fprintf(out, "  … %d more\n", len(rep.Anomalies)-5)
+				break
+			}
+			fmt.Fprintf(out, "  ANOMALY %s\n", a)
+		}
+
+		before = after
+		if opts.Interval > 0 && (opts.Ticks <= 0 || tick < opts.Ticks) {
+			select {
+			case <-ctx.Done():
+				return reports, ctx.Err()
+			case <-time.After(opts.Interval):
+			}
+		}
+	}
+	return reports, nil
 }

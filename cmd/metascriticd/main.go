@@ -1,9 +1,10 @@
 // Command metascriticd is the long-lived serving daemon: it boots a
 // world (cold, or warm from a -load snapshot), serves the versioned
-// HTTP/JSON API from internal/api, schedules asynchronous runs, and
-// shuts down gracefully on SIGINT/SIGTERM — draining active runs,
-// letting in-flight requests finish, and optionally persisting the final
-// serving state with -save.
+// HTTP/JSON API from internal/api, schedules asynchronous runs, absorbs
+// streaming topology churn via POST /v1/ingest (epoched evolution plus
+// incremental re-scoring), and shuts down gracefully on SIGINT/SIGTERM —
+// draining active runs, letting in-flight requests finish, and
+// optionally persisting the final serving state with -save.
 //
 // Usage:
 //

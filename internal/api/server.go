@@ -14,6 +14,7 @@
 //	POST /v1/runs                      submit an asynchronous run
 //	GET  /v1/runs                      list runs
 //	GET  /v1/runs/{id}                 poll one run
+//	POST /v1/ingest                    absorb topology churn and re-score (streaming)
 //	GET  /admin/stats                  engine + route-cache statistics
 //	GET  /healthz                      liveness
 package api
@@ -62,6 +63,22 @@ type Server struct {
 	start    time.Time
 	requests atomic.Int64
 	lastRun  atomic.Pointer[engine.RunStats]
+
+	// worldMu is the streaming seam: ingest mutates the world (and the
+	// shared route cache, registry and base store) in place, so it takes
+	// the write side while every handler that reads world-derived state
+	// holds the read side. Run execution is not covered by the lock —
+	// ingest instead refuses (409) while runs are active, and new
+	// submissions block on the read lock for the duration of an ingest.
+	worldMu sync.RWMutex
+
+	// Ingest counters (epoch-advancing batches absorbed since boot).
+	ingestBatches  atomic.Int64
+	ingestEvents   atomic.Int64
+	ingestNewASes  atomic.Int64
+	ingestTraces   atomic.Int64
+	ingestRescores atomic.Int64
+	lastIngest     atomic.Pointer[metascritic.EvolutionStats]
 }
 
 // NewServer builds a server over a pipeline and initial result set. The
@@ -116,6 +133,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
 	mux.HandleFunc("GET /v1/runs", s.handleListRuns)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleRunStatus)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("GET /admin/stats", s.handleStats)
 
 	var h http.Handler = mux
@@ -189,6 +207,8 @@ type estimateResponse struct {
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s.worldMu.RLock()
+	defer s.worldMu.RUnlock()
 	st := s.State()
 	res, ok := s.metroResult(w, st, r.PathValue("metro"))
 	if !ok {
@@ -257,6 +277,8 @@ type peersResponse struct {
 }
 
 func (s *Server) handlePeers(w http.ResponseWriter, r *http.Request) {
+	s.worldMu.RLock()
+	defer s.worldMu.RUnlock()
 	st := s.State()
 	res, ok := s.metroResult(w, st, r.PathValue("metro"))
 	if !ok {
@@ -328,6 +350,8 @@ func (s *Server) handlePeers(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleConsistency(w http.ResponseWriter, r *http.Request) {
+	s.worldMu.RLock()
+	defer s.worldMu.RUnlock()
 	st := s.State()
 	m := st.Metro(r.PathValue("metro"))
 	if m == nil {
@@ -343,6 +367,8 @@ func (s *Server) handleConsistency(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHijack(w http.ResponseWriter, r *http.Request) {
+	s.worldMu.RLock()
+	defer s.worldMu.RUnlock()
 	st := s.State()
 	vm := st.Metro(r.PathValue("victim"))
 	am := st.Metro(r.PathValue("attacker"))
@@ -400,6 +426,12 @@ type runRequest struct {
 }
 
 func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	// The read lock spans validation and Submit: a submission either
+	// lands before an ingest acquires the write lock (and the ingest then
+	// sees it via Active and backs off with 409) or waits until the world
+	// mutation is fully mirrored.
+	s.worldMu.RLock()
+	defer s.worldMu.RUnlock()
 	var req runRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -462,7 +494,10 @@ func (s *Server) handleRunStatus(w http.ResponseWriter, r *http.Request) {
 type statsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	SnapshotSeq   int64   `json:"snapshot_seq"`
-	Requests      int64   `json:"requests"`
+	// Epoch is the served world's evolution epoch (0 until the first
+	// POST /v1/ingest batch is absorbed).
+	Epoch    uint32 `json:"epoch"`
+	Requests int64  `json:"requests"`
 	// World summarizes the served world.
 	World struct {
 		ASes   int `json:"ases"`
@@ -475,16 +510,32 @@ type statsResponse struct {
 	// LastRun is the engine's aggregated statistics for the most
 	// recently committed batch (engine.RunStats; durations in ns).
 	LastRun *engine.RunStats `json:"last_run,omitempty"`
-	// RouteCache snapshots the shared route cache (bgp.CacheStats).
+	// Ingest aggregates the streaming counters since boot.
+	Ingest struct {
+		Batches  int64 `json:"batches"`
+		Events   int64 `json:"events"`
+		NewASes  int64 `json:"new_ases"`
+		Traces   int64 `json:"traces"`
+		Rescores int64 `json:"rescores"`
+	} `json:"ingest"`
+	// LastIngest is what absorbing the most recent batch did to the
+	// pipeline (metascritic.EvolutionStats).
+	LastIngest *metascritic.EvolutionStats `json:"last_ingest,omitempty"`
+	// RouteCache snapshots the shared route cache (bgp.CacheStats), which
+	// since the streaming refactor includes the invalidation counters:
+	// Epoch (passes absorbed), Invalidated and Retained entries.
 	RouteCache any `json:"route_cache"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.worldMu.RLock()
+	defer s.worldMu.RUnlock()
 	st := s.State()
 	g := st.Pipe.World.G
 	var out statsResponse
 	out.UptimeSeconds = time.Since(s.start).Seconds()
 	out.SnapshotSeq = st.Seq
+	out.Epoch = st.Epoch
 	out.Requests = s.requests.Load()
 	out.World.ASes = g.N()
 	out.World.Metros = len(g.Metros)
@@ -496,6 +547,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.ActiveRuns = s.runs.Active()
 	out.TotalRuns = len(s.runs.List())
 	out.LastRun = s.lastRun.Load()
+	out.Ingest.Batches = s.ingestBatches.Load()
+	out.Ingest.Events = s.ingestEvents.Load()
+	out.Ingest.NewASes = s.ingestNewASes.Load()
+	out.Ingest.Traces = s.ingestTraces.Load()
+	out.Ingest.Rescores = s.ingestRescores.Load()
+	out.LastIngest = s.lastIngest.Load()
 	out.RouteCache = st.Pipe.Engine.Cache.Stats()
 	writeJSON(w, http.StatusOK, out)
 }

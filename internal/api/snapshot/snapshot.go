@@ -12,7 +12,7 @@
 // File framing:
 //
 //	offset 0  magic   [8]byte  "msacSNAP"
-//	offset 8  version uint16   little-endian, currently 1
+//	offset 8  version uint16   little-endian, currently 2
 //	offset 10 length  uint64   payload byte count
 //	offset 18 crc     uint32   IEEE CRC-32 of the payload
 //	offset 22 payload
@@ -38,8 +38,10 @@ import (
 	"metascritic/internal/obs"
 )
 
-// Version is the current artifact format version.
-const Version = 1
+// Version is the current artifact format version. Version 2 added epoch
+// stamps to the embedded evidence payload (obs epoch log and per-record
+// stamps); version-1 artifacts are rejected rather than misread.
+const Version = 2
 
 var magic = [8]byte{'m', 's', 'a', 'c', 'S', 'N', 'A', 'P'}
 

@@ -39,6 +39,10 @@ type State struct {
 	// Seq increments on every swap; /admin/stats exposes it so clients
 	// can observe commits.
 	Seq int64
+	// Epoch is the world's evolution epoch this state was built at (the
+	// world itself is shared and mutates on ingest; this field is the
+	// frozen view's provenance).
+	Epoch uint32
 	// WorldCfg regenerates the world (persisted verbatim in snapshots).
 	WorldCfg metascritic.WorldConfig
 	// Pipe owns this state's store snapshot. Never mutated after build.
@@ -66,6 +70,7 @@ var scopeNames = map[asgraph.GeoScope]string{
 func NewState(seq int64, worldCfg metascritic.WorldConfig, p *metascritic.Pipeline, results map[int]*metascritic.Result) *State {
 	st := &State{
 		Seq:         seq,
+		Epoch:       p.World.Epoch,
 		WorldCfg:    worldCfg,
 		Pipe:        p.Snapshot(),
 		Results:     results,

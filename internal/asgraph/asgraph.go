@@ -219,6 +219,10 @@ type Graph struct {
 	Customers [][]int32
 	Peers     [][]int32
 
+	// mutations counts structural edits since the last Compact; see
+	// mutate.go (MaybeCompact re-packs once it crosses a threshold).
+	mutations int
+
 	conesMu   sync.Mutex
 	cones     [][]int32 // lazily computed customer cones, guarded by conesMu
 	coneSeen  []int32   // epoch-stamped visited marks for cone BFS
@@ -252,6 +256,7 @@ func (g *Graph) AddAS(a *AS) int {
 	g.Providers = append(g.Providers, nil)
 	g.Customers = append(g.Customers, nil)
 	g.Peers = append(g.Peers, nil)
+	g.mutations++
 	g.invalidateCones()
 	return a.Index
 }
@@ -266,6 +271,7 @@ func (g *Graph) AddC2P(customer, provider int) {
 	}
 	g.Providers[customer] = append(g.Providers[customer], int32(provider))
 	g.Customers[provider] = append(g.Customers[provider], int32(customer))
+	g.mutations++
 	g.invalidateCones()
 }
 
@@ -293,6 +299,7 @@ func (g *Graph) AddPeerUnique(a, b int) {
 	}
 	g.Peers[a] = append(g.Peers[a], int32(b))
 	g.Peers[b] = append(g.Peers[b], int32(a))
+	g.mutations++
 }
 
 // HasPeer reports whether a and b peer at the AS level.
@@ -311,6 +318,7 @@ func (g *Graph) N() int { return len(g.ASes) }
 // Call it once construction is done; later Add* calls still work (they
 // reallocate the touched AS's list out of the shared backing).
 func (g *Graph) Compact() {
+	g.mutations = 0
 	g.Providers = repackAdj(g.Providers)
 	g.Customers = repackAdj(g.Customers)
 	g.Peers = repackAdj(g.Peers)

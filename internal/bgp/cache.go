@@ -40,6 +40,12 @@ type RouteCache struct {
 	// (summed across workers, so it can exceed elapsed time on
 	// multi-core fan-outs).
 	propNanos atomic.Int64
+
+	// epoch counts invalidation passes (see mutate.go); invalidated and
+	// retained tally entries dropped vs. kept across those passes.
+	epoch       atomic.Uint32
+	invalidated atomic.Int64
+	retained    atomic.Int64
 }
 
 type cacheShard struct {
@@ -221,17 +227,26 @@ func (c *RouteCache) Topology() *Topology { return c.t }
 // CacheStats is a point-in-time snapshot of a route cache's counters,
 // surfaced through engine.RunStats and the CLI batch summary.
 type CacheStats struct {
-	Shards   int           // number of lock shards
-	Entries  int           // cached destinations
-	Bytes    int64         // packed route storage held
-	Hits     int64         // lookups served from cache
-	Computed int64         // propagation runs executed (misses after dedup)
-	PropTime time.Duration // wall-time summed over propagation runs
+	Shards      int           // number of lock shards
+	Entries     int           // cached destinations
+	Bytes       int64         // packed route storage held
+	Hits        int64         // lookups served from cache
+	Computed    int64         // propagation runs executed (misses after dedup)
+	PropTime    time.Duration // wall-time summed over propagation runs
+	Epoch       uint32        // invalidation passes absorbed
+	Invalidated int64         // entries dropped by scoped/full invalidation
+	Retained    int64         // entries that survived scoped invalidation passes
 }
 
 // Stats snapshots the cache counters across all shards.
 func (c *RouteCache) Stats() CacheStats {
-	st := CacheStats{Shards: numShards, PropTime: time.Duration(c.propNanos.Load())}
+	st := CacheStats{
+		Shards:      numShards,
+		PropTime:    time.Duration(c.propNanos.Load()),
+		Epoch:       c.epoch.Load(),
+		Invalidated: c.invalidated.Load(),
+		Retained:    c.retained.Load(),
+	}
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()

@@ -123,14 +123,6 @@ func (e *Engine) Run(ctx context.Context, metro int, cfg metascritic.Config) (*m
 	return res, nil
 }
 
-// RunMetroContext runs a single metro through the engine.
-//
-// Deprecated: RunMetroContext is Run under its pre-v1 name, kept for one
-// release. It forwards verbatim.
-func (e *Engine) RunMetroContext(ctx context.Context, metro int, cfg metascritic.Config) (*metascritic.Result, error) {
-	return e.Run(ctx, metro, cfg)
-}
-
 // RunAll executes the configured metros on a worker pool and returns
 // their results plus aggregated statistics. The first per-metro error
 // cancels the rest of the batch and is returned (wrapped); when ctx is

@@ -302,7 +302,7 @@ func TestRunAllEvents(t *testing.T) {
 	}
 }
 
-func TestEngineRunMetroContextFeedsPriors(t *testing.T) {
+func TestEngineRunFeedsPriors(t *testing.T) {
 	p := testPipeline(t, 17, 0.1)
 	metros := twoMetros(t, p)
 	eng := New(p)

@@ -79,6 +79,42 @@ func (r *Registry) alloc() Addr {
 	return a
 }
 
+// Extend allocates addresses for AS presences and IXP memberships that
+// appeared after the registry was built (topology evolution: new-AS
+// arrivals and IXP joins). Existing assignments are untouched, so
+// already-issued traces keep resolving identically; new blocks are
+// allocated in the same deterministic scan order as NewRegistry, making
+// the extended plan a pure function of the world. Returns the number of
+// addresses allocated.
+func (r *Registry) Extend() int {
+	added := 0
+	for _, a := range r.w.G.ASes {
+		for _, m := range a.Metros {
+			k := [2]int{a.Index, m}
+			if _, ok := r.ifaceAddr[k]; ok {
+				continue
+			}
+			addr := r.alloc()
+			r.ifaceAddr[k] = addr
+			r.info[addr] = Info{AS: a.Index, Metro: m, IXP: -1}
+			added++
+		}
+	}
+	for _, ix := range r.w.G.IXPs {
+		for _, member := range ix.Members {
+			k := [2]int{ix.Index, member}
+			if _, ok := r.ixpAddr[k]; ok {
+				continue
+			}
+			addr := r.alloc()
+			r.ixpAddr[k] = addr
+			r.info[addr] = Info{AS: member, Metro: ix.Metro, IXP: ix.Index}
+			added++
+		}
+	}
+	return added
+}
+
 // InterfaceFor returns the interface address of AS as at metro m. When the
 // AS has no presence at m (a long-haul interconnect), its closest presence
 // is used instead; the zero Addr is returned only for ASes with no

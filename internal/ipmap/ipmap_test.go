@@ -1,6 +1,7 @@
 package ipmap
 
 import (
+	"math/rand"
 	"testing"
 
 	"metascritic/internal/netsim"
@@ -188,5 +189,67 @@ func TestHashHelpers(t *testing.T) {
 	}
 	if below < 4500 || below > 5500 {
 		t.Fatalf("hash distribution skewed: %d/10000 below 0.5", below)
+	}
+}
+
+// TestExtendAfterEvolve pins the streaming contract: after a churn batch
+// adds ASes and IXP memberships, Extend allocates exactly the missing
+// blocks, keeps every pre-existing assignment byte-identical, and the
+// extension is deterministic (a replica world extends to the same plan).
+func TestExtendAfterEvolve(t *testing.T) {
+	mkWorld := func() *netsim.World {
+		return netsim.Generate(netsim.Config{Seed: 2, Metros: netsim.DefaultMetros(0.1)})
+	}
+	w := mkWorld()
+	r := NewRegistry(w)
+	before := map[[2]int]Addr{}
+	for k, a := range r.ifaceAddr {
+		before[k] = a
+	}
+	spec := netsim.EvolveSpec{LinkDowns: 5, LinkUps: 5, NewASes: 3, IXPJoins: 4, Workers: 2}
+	batch, err := w.Evolve(rand.New(rand.NewSource(6)), spec)
+	if err != nil {
+		t.Fatalf("Evolve: %v", err)
+	}
+	added := r.Extend()
+	if added == 0 {
+		t.Fatal("Extend allocated nothing after arrivals and IXP joins")
+	}
+	for k, a := range before {
+		if r.ifaceAddr[k] != a {
+			t.Fatalf("existing assignment %v changed: %v -> %v", k, a, r.ifaceAddr[k])
+		}
+	}
+	for _, a := range w.G.ASes {
+		for _, m := range a.Metros {
+			if _, ok := r.ifaceAddr[[2]int{a.Index, m}]; !ok {
+				t.Fatalf("AS %d metro %d unaddressed after Extend", a.Index, m)
+			}
+		}
+	}
+	if r.Extend() != 0 {
+		t.Fatal("second Extend allocated more addresses")
+	}
+
+	// A replica applying the same batch extends to the identical plan.
+	w2 := mkWorld()
+	r2 := NewRegistry(w2)
+	if err := w2.Apply(batch); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	r2.Extend()
+	if len(r2.ifaceAddr) != len(r.ifaceAddr) || len(r2.ixpAddr) != len(r.ixpAddr) {
+		t.Fatalf("replica plan sizes differ: %d/%d vs %d/%d",
+			len(r2.ifaceAddr), len(r2.ixpAddr), len(r.ifaceAddr), len(r.ixpAddr))
+	}
+	for k, a := range r.ifaceAddr {
+		if r2.ifaceAddr[k] != a {
+			t.Fatalf("replica interface %v = %v, want %v", k, r2.ifaceAddr[k], a)
+		}
+	}
+	for k, a := range r.ixpAddr {
+		if r2.ixpAddr[k] != a {
+			t.Fatalf("replica IXP addr %v = %v, want %v", k, r2.ixpAddr[k], a)
+		}
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"math"
 	"sort"
 	"testing"
-
 )
 
 // fingerprint folds every generated artifact that downstream code can

@@ -361,6 +361,9 @@ type World struct {
 	// Facilities maps metro -> facility -> member AS indices (coarse
 	// colocation data used as a pair feature).
 	Facilities map[int][][]int
+	// Epoch counts applied evolution batches (see Evolve); a freshly
+	// generated world is at epoch 0.
+	Epoch uint32
 }
 
 // Generate builds a world from cfg.

@@ -33,7 +33,8 @@ func (s *Store) EncodeEvidence() []byte {
 	u := func(v int) { b = binary.AppendUvarint(b, uint64(v)) }
 	pair := func(p asgraph.Pair) { u(p.A); u(p.B) }
 
-	// direct: sorted pairs, each with its (already sorted) metro list.
+	// direct: sorted pairs, each with its (already sorted) metro list and
+	// the parallel epoch stamps.
 	dk := sortedPairs(s.direct)
 	u(len(dk))
 	for _, p := range dk {
@@ -42,6 +43,9 @@ func (s *Store) EncodeEvidence() []byte {
 		u(len(row))
 		for _, m := range row {
 			u(int(m))
+		}
+		for _, e := range s.directEpoch[p] {
+			u(int(e))
 		}
 	}
 
@@ -57,6 +61,7 @@ func (s *Store) EncodeEvidence() []byte {
 			u(to.near)
 			u(to.probe.as)
 			u(to.probe.metro)
+			u(int(to.epoch))
 		}
 	}
 
@@ -129,6 +134,15 @@ func (s *Store) EncodeEvidence() []byte {
 	for _, sc := range s.conflicts {
 		u(int(sc))
 	}
+
+	// Topology epoch and the epoch log (AdvanceEpoch binary-searches it,
+	// so order is state).
+	u(int(s.epoch))
+	u(len(s.epochLog))
+	for _, mk := range s.epochLog {
+		pair(mk.pair)
+		u(int(mk.epoch))
+	}
 	return b
 }
 
@@ -164,7 +178,12 @@ func (s *Store) LoadEvidence(data []byte) error {
 				d.fail("direct metros for pair %v not strictly sorted", p)
 			}
 		}
+		erow := make([]uint32, m)
+		for j := 0; j < m && d.err == nil; j++ {
+			erow[j] = uint32(d.uint("direct epoch stamp"))
+		}
 		s.direct[p] = row
+		s.directEpoch[p] = erow
 	}
 
 	n = d.count("transit pairs")
@@ -178,6 +197,7 @@ func (s *Store) LoadEvidence(data []byte) error {
 				metro: d.uint("transit metro"),
 				near:  d.uint("transit near"),
 				probe: probeKey{d.uint("transit probe AS"), d.uint("transit probe metro")},
+				epoch: uint32(d.uint("transit epoch stamp")),
 			}
 		}
 		s.transit[p] = row
@@ -244,6 +264,36 @@ func (s *Store) LoadEvidence(data []byte) error {
 			d.fail("conflict log scope %d out of range", sc)
 		}
 		s.conflicts = append(s.conflicts, asgraph.GeoScope(sc))
+	}
+
+	s.epoch = uint32(d.uint("store epoch"))
+	n = d.count("epoch log entries")
+	s.epochLog = make([]epochMark, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		mk := epochMark{pair: d.rawPair("epoch mark"), epoch: uint32(d.uint("epoch mark epoch"))}
+		if d.err == nil && mk.epoch > s.epoch {
+			d.fail("epoch mark %d from the future (store epoch %d)", mk.epoch, s.epoch)
+		}
+		if d.err == nil && i > 0 && mk.epoch < s.epochLog[i-1].epoch {
+			d.fail("epoch log not nondecreasing at %d", i)
+		}
+		s.epochLog = append(s.epochLog, mk)
+	}
+	if d.err == nil {
+		for p, erow := range s.directEpoch {
+			for _, e := range erow {
+				if e > s.epoch {
+					d.fail("direct stamp for pair %v from the future", p)
+				}
+			}
+		}
+		for p, row := range s.transit {
+			for _, to := range row {
+				if to.epoch > s.epoch {
+					d.fail("transit stamp for pair %v from the future", p)
+				}
+			}
+		}
 	}
 
 	if d.err == nil && len(d.data) > 0 {

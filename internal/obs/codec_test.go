@@ -76,8 +76,10 @@ func TestEvidenceCodecDeterministic(t *testing.T) {
 	if !bytes.Equal(s.Clone().EncodeEvidence(), a) {
 		t.Fatalf("clone encodes differently from its base")
 	}
-	if empty := NewStore(testGraph(), fakeResolve).EncodeEvidence(); len(empty) != 8 {
-		t.Fatalf("empty store should encode to 8 zero counts, got %d bytes", len(empty))
+	// 8 zero section counts + the zero store epoch + the zero epoch-log
+	// count.
+	if empty := NewStore(testGraph(), fakeResolve).EncodeEvidence(); len(empty) != 10 {
+		t.Fatalf("empty store should encode to 10 zero bytes, got %d bytes", len(empty))
 	}
 }
 

@@ -6,14 +6,15 @@ import "metascritic/internal/asgraph"
 // evidence structure with its parent; the first mutation of a structure
 // group on either store lazily copies just that group. Structure groups:
 //
-//	cowDirect  — direct (map of sorted metro slices)
+//	cowDirect  — direct + directEpoch (maps of parallel metro/stamp rows)
 //	cowTransit — transit (map of observation slices)
 //	cowProbes  — probeSeen + probeTraces
 //	cowIndex   — gate + minConflict (derived indices)
 //
-// The dirty/conflicts logs need no group: Clone clamps both slice headers
-// to [:len:len] on both stores, so any post-clone append reallocates and
-// the stores diverge naturally (the shared prefix is immutable).
+// The dirty/conflicts/epochLog logs need no group: Clone clamps their
+// slice headers to [:len:len] on both stores, so any post-clone append
+// reallocates and the stores diverge naturally (the shared prefix is
+// immutable).
 //
 // Sharing is symmetric: Clone marks every group shared on BOTH stores, so
 // whichever store mutates first copies and the other keeps the (now
@@ -52,6 +53,7 @@ func (s *Store) Clone() *Store {
 	// into the shared backing array.
 	s.dirty = s.dirty[:len(s.dirty):len(s.dirty)]
 	s.conflicts = s.conflicts[:len(s.conflicts):len(s.conflicts)]
+	s.epochLog = s.epochLog[:len(s.epochLog):len(s.epochLog)]
 	s.shared = cowAll
 	return &Store{
 		g:           s.g,
@@ -59,6 +61,7 @@ func (s *Store) Clone() *Store {
 		ident:       &storeIdent{},
 		shared:      cowAll,
 		direct:      s.direct,
+		directEpoch: s.directEpoch,
 		transit:     s.transit,
 		probeSeen:   s.probeSeen,
 		probeTraces: s.probeTraces,
@@ -66,6 +69,8 @@ func (s *Store) Clone() *Store {
 		minConflict: s.minConflict,
 		dirty:       s.dirty,
 		conflicts:   s.conflicts,
+		epoch:       s.epoch,
+		epochLog:    s.epochLog,
 	}
 }
 
@@ -94,6 +99,14 @@ func (s *Store) ownDirect() {
 		m[k] = v[:len(v):len(v)]
 	}
 	s.direct = m
+	// Epoch stamps travel with the direct rows — and a re-stamp mutates a
+	// row in place (no append to force reallocation), so the rows must be
+	// deep-copied, not just clamped.
+	em := make(map[asgraph.Pair][]uint32, len(s.directEpoch))
+	for k, v := range s.directEpoch {
+		em[k] = append([]uint32(nil), v...)
+	}
+	s.directEpoch = em
 }
 
 func (s *Store) ownTransit() {

@@ -1,0 +1,90 @@
+package obs
+
+import "metascritic/internal/asgraph"
+
+// Epoch-stamped evidence. In a streaming world the topology an
+// observation was made under may no longer exist: a trace that crossed a
+// link three epochs ago is weaker evidence than one from the current
+// epoch, but it is not worthless — links mostly persist, and deleting
+// old evidence would re-open every slot the pipeline had already filled.
+// So every evidence record carries the store epoch it was (last)
+// observed in, and records older than staleWindow epochs are demoted by
+// staleDemotion when evidence is merged, not removed. Re-observing a
+// direct crossing re-stamps it to the current epoch, restoring full
+// weight.
+//
+// The scheme preserves the package's core invariant — Refresh is
+// byte-identical to a full rebuild — because staleness transitions are
+// logged like any other evidence change: AdvanceEpoch appends every pair
+// whose records just crossed the stale boundary to the dirty log (the
+// epoch log below records which pairs gained stamps in which epoch, so
+// the crossing set is a binary search away). A store that never advances
+// past epoch 0 behaves exactly like the pre-epoch package.
+
+const (
+	// staleWindow is the number of epochs an observation stays at full
+	// weight; at age staleWindow it is demoted.
+	staleWindow = 4
+	// staleDemotion scales the transfer weight of stale evidence.
+	staleDemotion = 0.25
+)
+
+// epochMark records that pair gained (or re-stamped) an evidence record
+// in epoch. The log is append-only with nondecreasing epochs.
+type epochMark struct {
+	pair  asgraph.Pair
+	epoch uint32
+}
+
+// Epoch returns the store's current topology epoch.
+func (s *Store) Epoch() uint32 { return s.epoch }
+
+// stale reports whether a record stamped at epoch e is demoted at the
+// store's current epoch.
+func (s *Store) stale(e uint32) bool { return s.epoch >= e+staleWindow }
+
+// markEpoch logs that pr gained an evidence stamp in the current epoch,
+// so the future AdvanceEpoch that makes the stamp stale can dirty pr.
+func (s *Store) markEpoch(pr asgraph.Pair) {
+	s.epochLog = append(s.epochLog, epochMark{pair: pr, epoch: s.epoch})
+}
+
+// AdvanceEpoch moves the store to the next topology epoch (the caller
+// has just applied a churn batch to the world) and returns it. Every
+// pair with a record that just crossed the stale boundary is appended to
+// the dirty log, so delta-maintained estimates pick up the demotions on
+// their next Refresh exactly as a full rebuild would.
+func (s *Store) AdvanceEpoch() uint32 {
+	s.epoch++
+	if s.epoch < staleWindow {
+		return s.epoch
+	}
+	cutoff := s.epoch - staleWindow
+	// epochLog is nondecreasing in epoch: binary search the [lo, hi)
+	// range of marks stamped exactly at the cutoff epoch.
+	lo := searchMarks(s.epochLog, cutoff)
+	hi := searchMarks(s.epochLog, cutoff+1)
+	if lo == hi {
+		return s.epoch
+	}
+	// Over-dirtying is harmless (applyPair is idempotent); a pair whose
+	// record was re-stamped since cutoff is re-derived to the same value.
+	for _, mk := range s.epochLog[lo:hi] {
+		s.dirty = append(s.dirty, mk.pair)
+	}
+	return s.epoch
+}
+
+// searchMarks returns the index of the first mark with epoch >= e.
+func searchMarks(log []epochMark, e uint32) int {
+	lo, hi := 0, len(log)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if log[mid].epoch < e {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,193 @@
+package obs
+
+// Tests for epoch-stamped evidence: demotion of stale records, re-stamp
+// on re-observation, and — the load-bearing property — Store.Refresh
+// staying byte-identical to a from-scratch rebuild while epochs advance
+// between trace rounds (the streaming post-churn workload).
+
+import (
+	"math/rand"
+	"testing"
+
+	"metascritic/internal/asgraph"
+)
+
+// TestEpochDemotionAndRestamp walks one direct crossing through its
+// lifecycle: full weight while fresh, demoted once staleWindow epochs
+// pass without re-observation, restored on re-observation.
+func TestEpochDemotionAndRestamp(t *testing.T) {
+	g := testGraph()
+	s := NewStore(g, fakeResolve)
+	members := []int{0, 1, 2, 3, 4, 5}
+
+	// Direct crossing 0-1 at metro 0.
+	s.AddTrace(mkTrace(4, 0, 1, [2]int{0, 0}, [2]int{1, 0}))
+	est := s.Estimate(0, members, NegNone)
+	if v, ok := est.Value(0, 1); !ok || v != 1.0 {
+		t.Fatalf("fresh evidence = %v,%v, want 1.0", v, ok)
+	}
+
+	for e := 0; e < staleWindow; e++ {
+		s.AdvanceEpoch()
+	}
+	s.Refresh(est)
+	if v, ok := est.Value(0, 1); !ok || v != 1.0*staleDemotion {
+		t.Fatalf("stale evidence = %v,%v, want %v", v, ok, staleDemotion)
+	}
+
+	// Re-observing the crossing re-stamps it to the current epoch.
+	s.AddTrace(mkTrace(4, 0, 1, [2]int{0, 0}, [2]int{1, 0}))
+	s.Refresh(est)
+	if v, ok := est.Value(0, 1); !ok || v != 1.0 {
+		t.Fatalf("re-stamped evidence = %v,%v, want 1.0", v, ok)
+	}
+}
+
+// TestEpochZeroIsLegacy pins backward compatibility: a store that never
+// advances past epoch 0 can never demote anything, whatever the trace
+// stream.
+func TestEpochZeroIsLegacy(t *testing.T) {
+	s := NewStore(testGraph(), fakeResolve)
+	if s.Epoch() != 0 {
+		t.Fatalf("fresh store epoch = %d", s.Epoch())
+	}
+	if s.stale(0) {
+		t.Fatal("epoch-0 records stale in an epoch-0 store")
+	}
+}
+
+// TestEpochedRefreshEquivalence is the streaming variant of
+// TestRefreshEquivalence: epochs advance between trace rounds (the
+// post-churn world), demoting and re-stamping evidence, and every
+// delta-refreshed estimate must stay byte-identical to a from-scratch
+// rebuild for every (policy, scope).
+func TestEpochedRefreshEquivalence(t *testing.T) {
+	members := []int{0, 1, 2, 3, 4, 5}
+	for seed := int64(1); seed <= 8; seed++ {
+		g := testGraph()
+		s := NewStore(g, fakeResolve)
+		rng := rand.New(rand.NewSource(seed))
+		metro := rng.Intn(4)
+
+		type tracked struct {
+			policy NegativePolicy
+			scope  asgraph.GeoScope
+			est    *Estimate
+		}
+		var track []*tracked
+		for _, pol := range allPolicies {
+			for sc := asgraph.SameMetro; sc <= asgraph.Elsewhere; sc++ {
+				track = append(track, &tracked{policy: pol, scope: sc,
+					est: s.EstimateScoped(metro, members, pol, sc)})
+			}
+		}
+
+		for round := 0; round < 16; round++ {
+			for k := 0; k < 1+rng.Intn(6); k++ {
+				s.AddTrace(randTrace(rng))
+			}
+			// Churn lands between trace rounds; skip some rounds so stamps
+			// spread over several epochs relative to the stale window.
+			if rng.Intn(3) > 0 {
+				s.AdvanceEpoch()
+			}
+			for _, tr := range track {
+				s.Refresh(tr.est)
+				fresh := s.EstimateScoped(metro, members, tr.policy, tr.scope)
+				tag := "seed " + itoa(int(seed)) + " round " + itoa(round) +
+					" epoch " + itoa(int(s.Epoch())) +
+					" policy " + itoa(int(tr.policy)) + " scope " + itoa(int(tr.scope))
+				requireSameEstimate(t, tag, tr.est, fresh)
+			}
+		}
+	}
+}
+
+// FuzzEpochedRefreshEquivalence lets the fuzzer interleave traces, epoch
+// advances and refreshes; divergence from a from-scratch rebuild is a
+// bug.
+func FuzzEpochedRefreshEquivalence(f *testing.F) {
+	f.Add(int64(3), []byte{0x01, 0x90, 0x33, 0xff, 0x12})
+	f.Add(int64(11), []byte{0xaa, 0x10, 0x04, 0x57})
+	f.Fuzz(func(t *testing.T, seed int64, program []byte) {
+		g := testGraph()
+		s := NewStore(g, fakeResolve)
+		rng := rand.New(rand.NewSource(seed))
+		members := []int{0, 1, 2, 3, 4, 5}
+		metro := int(uint(seed) % 4)
+		policy := allPolicies[int(uint(seed)>>2)%len(allPolicies)]
+		scope := asgraph.GeoScope(int(uint(seed)>>4) % int(asgraph.NumGeoScopes))
+		est := s.EstimateScoped(metro, members, policy, scope)
+		for _, op := range program {
+			for k := 0; k < int(op&0x07); k++ {
+				s.AddTrace(randTrace(rng))
+			}
+			if op&0x10 != 0 {
+				s.AdvanceEpoch()
+			}
+			if op&0x08 != 0 {
+				s.Refresh(est)
+				requireSameEstimate(t, "fuzz", est, s.EstimateScoped(metro, members, policy, scope))
+			}
+		}
+		s.Refresh(est)
+		requireSameEstimate(t, "fuzz-final", est, s.EstimateScoped(metro, members, policy, scope))
+	})
+}
+
+// TestEpochCloneIsolation pins the copy-on-write contract for the stamp
+// rows: a re-stamp on the base (an in-place write, not an append) must
+// not leak into a snapshot taken before it, and vice versa.
+func TestEpochCloneIsolation(t *testing.T) {
+	g := testGraph()
+	s := NewStore(g, fakeResolve)
+	members := []int{0, 1, 2, 3, 4, 5}
+	s.AddTrace(mkTrace(4, 0, 1, [2]int{0, 0}, [2]int{1, 0}))
+	for e := 0; e < staleWindow; e++ {
+		s.AdvanceEpoch()
+	}
+
+	snap := s.Clone()
+	// Base re-observes (re-stamps in place); the snapshot must keep
+	// seeing the stale, demoted record.
+	s.AddTrace(mkTrace(4, 0, 1, [2]int{0, 0}, [2]int{1, 0}))
+	if v, _ := s.Estimate(0, members, NegNone).Value(0, 1); v != 1.0 {
+		t.Fatalf("base after re-stamp = %v, want 1.0", v)
+	}
+	if v, _ := snap.Estimate(0, members, NegNone).Value(0, 1); v != 1.0*staleDemotion {
+		t.Fatalf("snapshot saw the base's re-stamp: %v, want %v", v, staleDemotion)
+	}
+}
+
+// TestEpochCodecRoundTrip pins that stamps, the store epoch and the
+// epoch log survive encode/decode: a decoded store must keep demoting
+// (and re-dirtying on AdvanceEpoch) exactly like the original.
+func TestEpochCodecRoundTrip(t *testing.T) {
+	g := testGraph()
+	s := NewStore(g, fakeResolve)
+	rng := rand.New(rand.NewSource(13))
+	members := []int{0, 1, 2, 3, 4, 5}
+	for round := 0; round < 6; round++ {
+		for k := 0; k < 4; k++ {
+			s.AddTrace(randTrace(rng))
+		}
+		s.AdvanceEpoch()
+	}
+
+	dec, err := DecodeEvidence(g, fakeResolve, s.EncodeEvidence())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec.Epoch() != s.Epoch() {
+		t.Fatalf("decoded epoch %d, want %d", dec.Epoch(), s.Epoch())
+	}
+	for _, pol := range allPolicies {
+		requireSameEstimate(t, "decoded", dec.Estimate(1, members, pol), s.Estimate(1, members, pol))
+	}
+	// Advancing both stores demotes the same records: estimates stay
+	// equal after the boundary crossing.
+	s.AdvanceEpoch()
+	dec.AdvanceEpoch()
+	requireSameEstimate(t, "decoded+advance",
+		dec.Estimate(1, members, NegMetascritic), s.Estimate(1, members, NegMetascritic))
+}

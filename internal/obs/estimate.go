@@ -242,14 +242,21 @@ func (s *Store) applyPair(est *Estimate, pr asgraph.Pair) {
 
 // posEvidence is the strongest transferability weight among the pair's
 // direct crossings within maxScope of the target metro (0 if none).
+// Crossings last observed more than staleWindow epochs ago may be from
+// links that no longer exist, so their weight is demoted (epoch.go).
 func (s *Store) posEvidence(pr asgraph.Pair, metro int, maxScope asgraph.GeoScope) float64 {
 	best := 0.0
-	for _, m := range s.direct[pr] {
+	stamps := s.directEpoch[pr]
+	for i, m := range s.direct[pr] {
 		sc := s.g.ScopeOfMetros(int(m), metro)
 		if sc > maxScope {
 			continue
 		}
-		if w := TransferWeight(sc); w > best {
+		w := TransferWeight(sc)
+		if s.stale(stamps[i]) {
+			w *= staleDemotion
+		}
+		if w > best {
 			best = w
 		}
 	}
@@ -269,6 +276,9 @@ func (s *Store) negEvidence(pr asgraph.Pair, metro int, policy NegativePolicy, m
 			continue
 		}
 		w := TransferWeight(sc)
+		if s.stale(to.epoch) {
+			w *= staleDemotion // pre-churn detour: demoted like stale links
+		}
 		if w <= best {
 			continue
 		}

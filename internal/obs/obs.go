@@ -71,6 +71,7 @@ type transitObs struct {
 	metro int // metro of the crossing into the transit
 	near  int // the AS on the probe side of the transit (i in the paper)
 	probe probeKey
+	epoch uint32 // store epoch the pattern was observed in (see epoch.go)
 }
 
 // Finding summarizes what one traceroute taught us: a direct crossing (or
@@ -108,6 +109,9 @@ type Store struct {
 
 	// direct[pair] = sorted metros with an observed direct crossing.
 	direct map[asgraph.Pair][]int32
+	// directEpoch[pair][i] = store epoch direct[pair][i] was last
+	// observed in (parallel rows; cowDirect group, see epoch.go).
+	directEpoch map[asgraph.Pair][]uint32
 	// transit[pair] = observed intermediate-transit patterns, in arrival
 	// order.
 	transit map[asgraph.Pair][]transitObs
@@ -136,6 +140,12 @@ type Store struct {
 	// invalidate against it.
 	conflicts []asgraph.GeoScope
 
+	// epoch is the store's topology epoch; epochLog records which pairs
+	// gained evidence stamps in which epoch (append-only, nondecreasing)
+	// so AdvanceEpoch can dirty the pairs crossing the stale boundary.
+	epoch    uint32
+	epochLog []epochMark
+
 	// consistent caches ConsistentASes per scope, each entry stamped with
 	// the conflicts-log length it has consumed. Never shared across
 	// Clone (it is cheap to rebuild from minConflict and mutates on
@@ -162,6 +172,7 @@ func NewStore(g *asgraph.Graph, resolve func(ipmap.Addr) (ipmap.Info, bool)) *St
 		resolve:     resolve,
 		ident:       &storeIdent{},
 		direct:      map[asgraph.Pair][]int32{},
+		directEpoch: map[asgraph.Pair][]uint32{},
 		transit:     map[asgraph.Pair][]transitObs{},
 		probeSeen:   map[seenKey]bool{},
 		probeTraces: map[probeKey]int{},
@@ -290,7 +301,17 @@ func (s *Store) addDirect(pr asgraph.Pair, m int) {
 	row := s.direct[pr]
 	pos, ok := searchMetros(row, int32(m))
 	if ok {
-		return // already known: evidence unchanged, nothing to log
+		if s.directEpoch[pr][pos] == s.epoch {
+			return // already known this epoch: evidence unchanged
+		}
+		// Re-observation in a later epoch re-stamps the record (restoring
+		// full weight if it had gone stale) — an evidence input change,
+		// so it is logged like any other.
+		s.ownDirect()
+		s.directEpoch[pr][pos] = s.epoch
+		s.markEpoch(pr)
+		s.dirty = append(s.dirty, pr)
+		return
 	}
 	s.ownDirect()
 	row = s.direct[pr]
@@ -298,6 +319,12 @@ func (s *Store) addDirect(pr asgraph.Pair, m int) {
 	copy(row[pos+1:], row[pos:])
 	row[pos] = int32(m)
 	s.direct[pr] = row
+	erow := s.directEpoch[pr]
+	erow = append(erow, 0)
+	copy(erow[pos+1:], erow[pos:])
+	erow[pos] = s.epoch
+	s.directEpoch[pr] = erow
+	s.markEpoch(pr)
 	// A new direct metro can create (or tighten) a contradiction with any
 	// existing transit observation of the pair.
 	if tl := s.transit[pr]; len(tl) > 0 {
@@ -316,7 +343,9 @@ func (s *Store) addDirect(pr asgraph.Pair, m int) {
 // index, the well-positioned gate index and the dirty log.
 func (s *Store) addTransit(pr asgraph.Pair, to transitObs) {
 	s.ownTransit()
+	to.epoch = s.epoch
 	s.transit[pr] = append(s.transit[pr], to)
+	s.markEpoch(pr)
 	if dm := s.direct[pr]; len(dm) > 0 {
 		best := asgraph.NumGeoScopes
 		for _, m := range dm {

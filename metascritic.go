@@ -17,8 +17,6 @@
 package metascritic
 
 import (
-	"context"
-	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
@@ -229,6 +227,12 @@ type Result struct {
 	// Lambda/FeatureWeight actually used for the final completion.
 	Lambda        float64
 	FeatureWeight float64
+	// Factors holds the final completion's ALS factor matrices so an
+	// incremental Rescore after topology evolution can warm-start from
+	// them instead of re-converging from noise. Derived state: snapshot
+	// restore leaves it nil, in which case Rescore falls back to a cold
+	// factor initialization (still skipping rank sweep and tuning).
+	Factors *als.Factors
 }
 
 // LinksAbove returns the member-index pairs whose rating is >= thr.
@@ -382,31 +386,6 @@ func (p *Pipeline) Snapshot() *Pipeline {
 		Store:   p.Store.Clone(),
 		Hitlist: p.Hitlist,
 	}
-}
-
-// RunMetro executes the full metAScritic loop (Fig. 2) on one metro.
-//
-// Deprecated: RunMetro is the pre-context API, kept for one release. It is
-// equivalent to Run with a background context, and panics on the errors a
-// non-cancellable run can produce (an invalid Config or a strict-budget
-// failure). New code should call Run, which reports errors and honors
-// cancellation.
-func (p *Pipeline) RunMetro(metro int, cfg Config) *Result {
-	res, err := p.Run(context.Background(), metro, cfg)
-	if err != nil {
-		panic(fmt.Sprintf("metascritic: RunMetro: %v", err))
-	}
-	return res
-}
-
-// RunMetroContext executes the full metAScritic loop (Fig. 2) on one
-// metro.
-//
-// Deprecated: RunMetroContext is Run under its pre-v1 name, kept for one
-// release. It forwards verbatim; see Run for the semantics and the
-// determinism contract.
-func (p *Pipeline) RunMetroContext(ctx context.Context, metro int, cfg Config) (*Result, error) {
-	return p.Run(ctx, metro, cfg)
 }
 
 // CompleteWith re-runs the hybrid completion with explicit hyperparameters

@@ -1,9 +1,9 @@
 package metascritic
 
-// Run is the package's single run entry point. It used to be split across
-// a RunMetro/RunMetroContext duo; both survive as thin deprecated wrappers
-// in metascritic.go, and every error Run returns wraps one of the sentinel
-// errors of errors.go.
+// Run is the package's single run entry point (the pre-v1
+// RunMetro/RunMetroContext wrappers are gone); every error Run returns
+// wraps one of the sentinel errors of errors.go. Rescore in stream.go is
+// the incremental counterpart for evolved worlds.
 
 import (
 	"context"
@@ -266,7 +266,7 @@ func (p *Pipeline) Run(ctx context.Context, metro int, cfg Config) (*Result, err
 	if opts.FeatureWeight > 0 && probF != nil {
 		prob = probF
 	}
-	res.Ratings = prob.Complete(opts, nil)
+	res.Ratings, res.Factors = prob.CompleteFactors(opts, nil, nil)
 	res.Timings.Completion = time.Since(phaseStart)
 	allocPhase(&res.Timings.Allocs.Completion)
 	if err := ctx.Err(); err != nil {

@@ -4,14 +4,13 @@ import (
 	"context"
 	"errors"
 	"math/rand"
-	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
 )
 
-// mustRun is the test-side replacement for the deprecated RunMetro: it
-// runs with a background context and fails the test on error.
+// mustRun runs a metro with a background context and fails the test on
+// error.
 func mustRun(t *testing.T, p *Pipeline, metro int, cfg Config) *Result {
 	t.Helper()
 	res, err := p.Run(context.Background(), metro, cfg)
@@ -124,74 +123,27 @@ func TestRunStrictBudget(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersForward pins that the one-release compatibility
-// wrappers are pure forwards of Run: byte-identical results for equal
-// inputs.
-func TestDeprecatedWrappersForward(t *testing.T) {
-	w := smallWorld(33)
-	p := NewPipeline(w)
-	rng := rand.New(rand.NewSource(1))
-	p.SeedPublicMeasurements(5, rng)
-	cfg := DefaultConfig()
-	cfg.BatchSize = 50
-	cfg.MaxMeasurements = 300
-	cfg.Rank.MaxRank = 5
-	cfg.Rank.Iterations = 3
-
-	want, err := p.Snapshot().Run(context.Background(), 0, cfg)
-	if err != nil {
-		t.Fatalf("Run: %v", err)
-	}
-	viaCtx, err := p.Snapshot().RunMetroContext(context.Background(), 0, cfg)
-	if err != nil {
-		t.Fatalf("RunMetroContext: %v", err)
-	}
-	viaLegacy := p.Snapshot().RunMetro(0, cfg)
-
-	for name, got := range map[string]*Result{"RunMetroContext": viaCtx, "RunMetro": viaLegacy} {
-		got.Timings, want.Timings = PhaseTimings{}, PhaseTimings{}
-		if !reflect.DeepEqual(got, want) {
-			t.Fatalf("%s diverged from Run", name)
-		}
-	}
-}
-
-// TestDeprecatedWrapperSentinels pins the error-path contract of the
-// compatibility wrappers: RunMetroContext propagates Run's sentinel
-// errors (including context cancellation) unchanged, and RunMetro panics
-// on the errors a non-cancellable run can produce.
-func TestDeprecatedWrapperSentinels(t *testing.T) {
+// TestRunSentinels pins the error-path contract of the single entry
+// point: Run propagates its sentinel errors (including context
+// cancellation) unchanged.
+func TestRunSentinels(t *testing.T) {
 	w := smallWorld(36)
 	p := NewPipeline(w)
 
-	// RunMetroContext honors its context: a pre-cancelled run reports
-	// ErrCanceled and the context's own cause.
+	// Run honors its context: a pre-cancelled run reports ErrCanceled and
+	// the context's own cause.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := p.Snapshot().RunMetroContext(ctx, 0, DefaultConfig()); !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
-		t.Fatalf("RunMetroContext pre-cancelled: got %v, want ErrCanceled and context.Canceled", err)
+	if _, err := p.Snapshot().Run(ctx, 0, DefaultConfig()); !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run pre-cancelled: got %v, want ErrCanceled and context.Canceled", err)
 	}
 
-	// RunMetroContext propagates validation sentinels.
+	// Run propagates validation sentinels.
 	bad := DefaultConfig()
 	bad.BatchSize = 0
-	if _, err := p.Snapshot().RunMetroContext(context.Background(), 0, bad); !errors.Is(err, ErrInvalidConfig) {
-		t.Fatalf("RunMetroContext invalid config: got %v, want ErrInvalidConfig", err)
+	if _, err := p.Snapshot().Run(context.Background(), 0, bad); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("Run invalid config: got %v, want ErrInvalidConfig", err)
 	}
-
-	// RunMetro has no error return: it panics on the same failure, naming
-	// itself so the stack points at the deprecated call site.
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("RunMetro with an invalid config did not panic")
-		}
-		msg, ok := r.(string)
-		if !ok || !strings.Contains(msg, "RunMetro") || !strings.Contains(msg, ErrInvalidConfig.Error()) {
-			t.Fatalf("RunMetro panic message %v does not name the wrapper and the sentinel", r)
-		}
-	}()
-	p.Snapshot().RunMetro(0, bad)
 }
 
 func TestRunErrorMessagesNameTheMetro(t *testing.T) {

@@ -76,17 +76,14 @@ func TestRunRejectsInvalid(t *testing.T) {
 	}
 }
 
-func TestRunMetroPanicsOnInvalid(t *testing.T) {
+func TestRunRejectsNaNEpsilon(t *testing.T) {
 	w := smallWorld(1)
 	p := NewPipeline(w)
 	cfg := DefaultConfig()
 	cfg.Epsilon = math.NaN()
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("RunMetro did not panic on an invalid config")
-		}
-	}()
-	p.RunMetro(0, cfg)
+	if _, err := p.Run(context.Background(), 0, cfg); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("NaN epsilon: got %v, want ErrInvalidConfig", err)
+	}
 }
 
 func TestSnapshotIsolatesStore(t *testing.T) {
