@@ -6,7 +6,7 @@ GO ?= go
 BENCH_SCALE ?= 0.05
 BENCH_PATTERN = BenchmarkComplete|BenchmarkRankEstimate|BenchmarkPropagate$$|BenchmarkPropagateInto|BenchmarkRoutesToAll|BenchmarkVisibleLinks|BenchmarkRunMetro|BenchmarkRunAll|BenchmarkStore|BenchmarkEstimateHandler|BenchmarkSnapshotLoad|BenchmarkGenerate|BenchmarkEvolve|BenchmarkIncrementalRescore
 BENCH_PKGS = . ./internal/als ./internal/rank ./internal/bgp ./internal/obs ./internal/api ./internal/api/snapshot ./internal/engine ./internal/netsim
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 BENCH_BASELINE ?=
 # The most recent recorded report other than BENCH_OUT becomes the
 # default baseline, so every new report carries before/after deltas
@@ -14,7 +14,7 @@ BENCH_BASELINE ?=
 BENCH_PREV = $(lastword $(sort $(filter-out $(BENCH_OUT),$(wildcard BENCH_PR*.json))))
 PROFILE_DIR ?= profiles
 
-.PHONY: build test check bench bench-engine bench-compare profile race-run race-measure race-obs race-bgp race-api race-netsim race-stream clean
+.PHONY: build test check bench bench-engine bench-100k bench-compare profile race-run race-measure race-obs race-bgp race-api race-netsim race-stream clean
 
 build:
 	$(GO) build ./...
@@ -52,18 +52,32 @@ bench:
 bench-engine:
 	$(GO) test -bench RunAll -benchtime 2x -run '^$$' ./internal/engine/
 
+# bench-100k runs the opt-in Internet-scale end-to-end benchmark: one
+# full RunMetro against a 100k-AS InternetMetros world under a bounded
+# route-cache budget, reporting wall-clock, peak RSS and eviction
+# counters (see runmetro100k_bench_test.go for the env knobs). Minutes
+# of wall-clock on a single core — not part of `make bench`.
+BENCH_100K_ASES ?= 100000
+BENCH_100K_CACHE_MB ?= 256
+bench-100k:
+	METASCRITIC_BENCH_100K=1 METASCRITIC_BENCH_ASES=$(BENCH_100K_ASES) \
+	METASCRITIC_BENCH_CACHE_MB=$(BENCH_100K_CACHE_MB) \
+	$(GO) test -run '^$$' -bench 'BenchmarkRunMetro100k' -benchmem \
+		-benchtime 1x -timeout 2h .
+
 # bench-compare diffs the two most recent recorded reports and fails on
-# a >10% wall-clock regression in any end-to-end benchmark (RunMetro /
-# RunAll) — the pre-merge perf gate. When the newer report embeds a
-# same-session baseline (bench run with BENCH_BASELINE=<bench text of
-# the prior tree re-run on this machine>), the gate compares against
-# that instead of the older report's absolutes, so hardware drift
-# between recording sessions cannot fake a regression.
+# a >10% wall-clock or >15% peak-RSS regression in any end-to-end
+# benchmark (RunMetro / RunAll) — the pre-merge perf gate. When the
+# newer report embeds a same-session baseline (bench run with
+# BENCH_BASELINE=<bench text of the prior tree re-run on this machine>),
+# the gate compares against that instead of the older report's
+# absolutes, so hardware drift between recording sessions cannot fake a
+# regression.
 bench-compare:
 	@set -- $$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -n 2); \
 	if [ $$# -lt 2 ]; then echo "bench-compare: need at least two BENCH_PR*.json reports"; exit 1; fi; \
 	echo "comparing $$1 -> $$2"; \
-	$(GO) run ./cmd/benchjson -compare $$1 $$2
+	$(GO) run ./cmd/benchjson -compare -rss-threshold 0.15 $$1 $$2
 
 # profile captures CPU and heap profiles from a scaled-down end-to-end
 # RunAll batch, plus the test binary pprof needs to symbolize them:

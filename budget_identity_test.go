@@ -1,0 +1,72 @@
+package metascritic_test
+
+// Pipeline-level equivalence for the bounded route cache: a full
+// RunMetro on an InternetMetros world under a tight byte budget must be
+// byte-identical to the unbounded run. Eviction only ever discards
+// memoized propagation results — recomputing them is deterministic per
+// topology — so the budget is purely a memory/time trade. This is the
+// end-to-end companion to internal/bgp's TestBudgetedCacheByteIdentical.
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"metascritic"
+	"metascritic/internal/netsim"
+)
+
+func TestBudgetedPipelineByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a 2000-AS InternetMetros world")
+	}
+	// InternetMetros clamps to its 2000-AS floor — the smallest world
+	// with the dense-metro shape the budget work targets.
+	w := netsim.Generate(netsim.Config{Seed: 7, Metros: netsim.InternetMetros(2000)})
+	metro := w.PrimaryMetros()[0]
+
+	run := func(budget int64) (*metascritic.Result, int64) {
+		p := metascritic.NewPipeline(w)
+		p.SetRouteCacheBudget(budget)
+		// Strided public-trace sample (as in BenchmarkRunMetro100k):
+		// enough evidence to drive a real run without seeding every probe.
+		rng := rand.New(rand.NewSource(1))
+		stride := len(w.Probes) / 300
+		if stride < 1 {
+			stride = 1
+		}
+		for i := 0; i < len(w.Probes); i += stride {
+			pr := w.Probes[i]
+			if dst := rng.Intn(w.G.N()); dst != pr.AS {
+				p.Store.AddTrace(p.Engine.Run(pr.AS, pr.Metro, dst))
+			}
+		}
+		cfg := metascritic.DefaultConfig()
+		cfg.MaxMeasurements = 800
+		cfg.BatchSize = 60
+		cfg.Rank.MaxRank = 6
+		cfg.Rank.Iterations = 4
+		res, err := p.Snapshot().Run(context.Background(), metro, cfg)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		// Timings are telemetry, outside the determinism contract.
+		res.Timings = metascritic.PhaseTimings{}
+		return res, p.Engine.Cache.Stats().Evicted
+	}
+
+	unbounded, evicted := run(0)
+	if evicted != 0 {
+		t.Fatalf("unbounded run evicted %d entries", evicted)
+	}
+	// ~2-3 route views per shard at 2000 ASes: far below the run's
+	// working set, so eviction and recompute churn are guaranteed.
+	budgeted, evicted := run(512 << 10)
+	if evicted == 0 {
+		t.Fatal("budgeted run never evicted — budget did not engage")
+	}
+	if !reflect.DeepEqual(unbounded, budgeted) {
+		t.Fatalf("budgeted run differs from unbounded run (evicted %d)", evicted)
+	}
+}

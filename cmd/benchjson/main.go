@@ -15,8 +15,8 @@
 // run's baseline, so every recorded report diffs against its predecessor
 // (`make bench` wires this automatically). -compare diffs two recorded
 // reports and exits non-zero when an end-to-end benchmark (RunMetro /
-// RunAll) regressed by more than -regress-threshold in wall-clock — the
-// `make bench-compare` gate.
+// RunAll) regressed by more than -regress-threshold in wall-clock or
+// -rss-threshold in recorded peak RSS — the `make bench-compare` gate.
 package main
 
 import (
@@ -32,12 +32,20 @@ import (
 	"metascritic/internal/cliflags"
 )
 
-// Measurement is one benchmark result line.
+// Measurement is one benchmark result line. Beyond the standard
+// -benchmem columns, two custom b.ReportMetric units emitted by the
+// end-to-end benchmarks are recorded: "peak-rss-bytes" (process
+// resident-set high-water mark, see internal/sysmem) and
+// "cache-evictions" (route-cache entries evicted under the byte
+// budget). Peak RSS participates in the -compare gate via
+// -rss-threshold.
 type Measurement struct {
-	Runs        int     `json:"runs"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Runs           int     `json:"runs"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp    int64   `json:"allocs_per_op,omitempty"`
+	PeakRSSBytes   int64   `json:"peak_rss_bytes,omitempty"`
+	CacheEvictions int64   `json:"cache_evictions,omitempty"`
 }
 
 // Entry pairs the measurements of one benchmark across the two runs.
@@ -63,6 +71,7 @@ func main() {
 	scale := flag.String("scale", os.Getenv("METASCRITIC_BENCH_SCALE"), "scale label recorded in the report")
 	compare := flag.Bool("compare", false, "compare two recorded reports (args: old.json new.json) and fail on end-to-end regression")
 	threshold := flag.Float64("regress-threshold", 0.10, "relative ns/op increase that counts as a regression in -compare")
+	rssThreshold := flag.Float64("rss-threshold", 0.15, "relative peak-RSS increase that counts as a regression in -compare (0 disables)")
 	var prof cliflags.Profile
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -77,7 +86,7 @@ func main() {
 		if flag.NArg() != 2 {
 			fatal(fmt.Errorf("-compare needs exactly two report paths, got %d", flag.NArg()))
 		}
-		if err := compareReports(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+		if err := compareReports(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *rssThreshold); err != nil {
 			stopProf()
 			fatal(err)
 		}
@@ -169,15 +178,21 @@ func parseFile(path string) (map[string]*Measurement, []string, error) {
 		}
 		m := &Measurement{Runs: runs, NsPerOp: ns}
 		for i := 4; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseInt(fields[i], 10, 64)
+			// ParseFloat, not ParseInt: custom b.ReportMetric values are
+			// printed by the testing package as floats.
+			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				continue
 			}
 			switch fields[i+1] {
 			case "B/op":
-				m.BytesPerOp = v
+				m.BytesPerOp = int64(v)
 			case "allocs/op":
-				m.AllocsPerOp = v
+				m.AllocsPerOp = int64(v)
+			case "peak-rss-bytes":
+				m.PeakRSSBytes = int64(v)
+			case "cache-evictions":
+				m.CacheEvictions = int64(v)
 			}
 		}
 		key := pkg + "\t" + name
@@ -254,9 +269,12 @@ func endToEnd(name string) bool {
 
 // compareReports diffs two recorded reports and returns an error when
 // any end-to-end benchmark's wall-clock regressed by more than
-// threshold (relative ns/op increase). Micro-benchmarks are printed for
-// context but never fail the gate — they are noisier and their cost is
-// already visible inside the end-to-end numbers.
+// threshold (relative ns/op increase), or its peak RSS grew by more
+// than rssThreshold when both reports recorded one (the memory leg of
+// the `make bench-compare` gate; rssThreshold 0 disables it).
+// Micro-benchmarks are printed for context but never fail the gate —
+// they are noisier and their cost is already visible inside the
+// end-to-end numbers.
 //
 // When the newer report embeds its own 'before' measurements (recorded
 // by re-running the baseline tree in the same bench session via
@@ -264,7 +282,7 @@ func endToEnd(name string) bool {
 // numbers: absolute ns/op is only comparable within one machine and
 // session, and a report recorded on slower hardware would otherwise
 // trip the gate without any code regression.
-func compareReports(w io.Writer, oldPath, newPath string, threshold float64) error {
+func compareReports(w io.Writer, oldPath, newPath string, threshold, rssThreshold float64) error {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		return err
@@ -311,15 +329,28 @@ func compareReports(w io.Writer, oldPath, newPath string, threshold float64) err
 			}
 		}
 		fmt.Fprintf(w, "%-60s %14.0f %14.0f %+7.1f%%%s\n", e.Name, old.NsPerOp, e.After.NsPerOp, 100*delta, marker)
+		if endToEnd(e.Name) && old.PeakRSSBytes > 0 && e.After.PeakRSSBytes > 0 {
+			rssDelta := float64(e.After.PeakRSSBytes)/float64(old.PeakRSSBytes) - 1
+			rssMarker := ""
+			if rssThreshold > 0 && rssDelta > rssThreshold {
+				rssMarker = " [e2e RSS REGRESSION]"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: peak RSS %d → %d bytes (%+.1f%%)",
+						e.Name, old.PeakRSSBytes, e.After.PeakRSSBytes, 100*rssDelta))
+			}
+			fmt.Fprintf(w, "%-60s %14d %14d %+7.1f%%%s\n",
+				"  ↳ peak RSS (bytes)", old.PeakRSSBytes, e.After.PeakRSSBytes, 100*rssDelta, rssMarker)
+		}
 	}
 	if embedded > 0 {
 		fmt.Fprintf(w, "(%d benchmark(s) compared against %s's embedded same-session baseline)\n", embedded, newPath)
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("%d end-to-end benchmark(s) regressed more than %.0f%% (%s → %s):\n  %s",
-			len(regressions), 100*threshold, oldPath, newPath, strings.Join(regressions, "\n  "))
+		return fmt.Errorf("%d end-to-end regression(s) beyond thresholds (ns/op %.0f%%, peak RSS %.0f%%) (%s → %s):\n  %s",
+			len(regressions), 100*threshold, 100*rssThreshold, oldPath, newPath, strings.Join(regressions, "\n  "))
 	}
-	fmt.Fprintf(w, "no end-to-end regression above %.0f%% (%s → %s)\n", 100*threshold, oldPath, newPath)
+	fmt.Fprintf(w, "no end-to-end regression above %.0f%% ns/op or %.0f%% peak RSS (%s → %s)\n",
+		100*threshold, 100*rssThreshold, oldPath, newPath)
 	return nil
 }
 

@@ -57,7 +57,7 @@ func TestCompareReports(t *testing.T) {
 		{Name: "BenchmarkComplete", Package: "metascritic/internal/als", After: &Measurement{NsPerOp: 500}},
 	}})
 	var sb strings.Builder
-	if err := compareReports(&sb, oldPath, newPath, 0.10); err != nil {
+	if err := compareReports(&sb, oldPath, newPath, 0.10, 0.15); err != nil {
 		t.Fatalf("within-threshold compare failed: %v\n%s", err, sb.String())
 	}
 
@@ -67,7 +67,7 @@ func TestCompareReports(t *testing.T) {
 		{Name: "BenchmarkRunMetro/workers=1", Package: "metascritic", After: &Measurement{NsPerOp: 120}},
 	}})
 	sb.Reset()
-	err := compareReports(&sb, oldPath, newPath, 0.10)
+	err := compareReports(&sb, oldPath, newPath, 0.10, 0.15)
 	if err == nil {
 		t.Fatalf("20%% end-to-end regression passed the gate:\n%s", sb.String())
 	}
@@ -81,8 +81,81 @@ func TestCompareReports(t *testing.T) {
 		{Name: "BenchmarkRunAll/metros=16/workers=4", Package: "metascritic/internal/engine", After: &Measurement{NsPerOp: 9999}},
 	}})
 	sb.Reset()
-	if err := compareReports(&sb, oldPath, newPath, 0.10); err != nil {
+	if err := compareReports(&sb, oldPath, newPath, 0.10, 0.15); err != nil {
 		t.Fatalf("new benchmark treated as regression: %v", err)
+	}
+}
+
+func TestParseFileCustomMetrics(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	// Custom b.ReportMetric values are printed by the testing package as
+	// floats (possibly in scientific notation), after the standard columns.
+	text := "pkg: metascritic\n" +
+		"BenchmarkRunMetro100k-1   1  123456789 ns/op  2.684e+09 peak-rss-bytes  1234 cache-evictions  42 B/op  7 allocs/op\n"
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, order, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(order))
+	}
+	m := res["metascritic\tBenchmarkRunMetro100k"]
+	if m == nil {
+		t.Fatalf("missing measurement; got keys %v", order)
+	}
+	if m.PeakRSSBytes != 2_684_000_000 {
+		t.Errorf("PeakRSSBytes = %d, want 2684000000", m.PeakRSSBytes)
+	}
+	if m.CacheEvictions != 1234 {
+		t.Errorf("CacheEvictions = %d, want 1234", m.CacheEvictions)
+	}
+	if m.BytesPerOp != 42 || m.AllocsPerOp != 7 {
+		t.Errorf("standard -benchmem columns mis-parsed: %+v", m)
+	}
+}
+
+func TestCompareReportsRSSGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeReport(t, oldPath, Report{Benchmarks: []Entry{
+		{Name: "BenchmarkRunMetro100k", Package: "metascritic",
+			After: &Measurement{NsPerOp: 100, PeakRSSBytes: 1 << 30}},
+	}})
+
+	// Faster wall-clock but peak RSS up 50%: the memory leg of the gate
+	// fails, naming the benchmark.
+	writeReport(t, newPath, Report{Benchmarks: []Entry{
+		{Name: "BenchmarkRunMetro100k", Package: "metascritic",
+			After: &Measurement{NsPerOp: 90, PeakRSSBytes: 3 << 29}},
+	}})
+	var sb strings.Builder
+	err := compareReports(&sb, oldPath, newPath, 0.10, 0.15)
+	if err == nil {
+		t.Fatalf("50%% peak-RSS growth passed the gate:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "peak RSS") {
+		t.Fatalf("RSS regression error does not mention peak RSS: %v", err)
+	}
+
+	// rssThreshold 0 disables the memory leg.
+	sb.Reset()
+	if err := compareReports(&sb, oldPath, newPath, 0.10, 0); err != nil {
+		t.Fatalf("rss-threshold 0 still gated on RSS: %v", err)
+	}
+
+	// Growth within the threshold passes.
+	writeReport(t, newPath, Report{Benchmarks: []Entry{
+		{Name: "BenchmarkRunMetro100k", Package: "metascritic",
+			After: &Measurement{NsPerOp: 100, PeakRSSBytes: (1 << 30) + (1 << 26)}},
+	}})
+	sb.Reset()
+	if err := compareReports(&sb, oldPath, newPath, 0.10, 0.15); err != nil {
+		t.Fatalf("within-threshold RSS growth failed the gate: %v\n%s", err, sb.String())
 	}
 }
 

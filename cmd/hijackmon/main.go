@@ -77,15 +77,17 @@ func run() error {
 
 	if *watchMode {
 		_, err := watch(ctx, os.Stdout, pf, watchOptions{
-			Ticks:    *ticks,
-			Interval: *interval,
-			Churn:    *churn,
-			Dests:    *dests,
+			Ticks:       *ticks,
+			Interval:    *interval,
+			Churn:       *churn,
+			Dests:       *dests,
+			CacheBudget: int64(ef.RouteCacheMB) << 20,
 		})
 		return err
 	}
 
 	w, pipe, _ := pf.Build()
+	ef.ApplyPipeline(pipe)
 	g := w.G
 	vm := g.MetroOfName(*victimMetro)
 	am := g.MetroOfName(*attackerMetro)
@@ -146,6 +148,10 @@ type watchOptions struct {
 	Churn int
 	// Dests is the number of destinations the public view samples.
 	Dests int
+	// CacheBudget bounds the monitor's route cache in bytes (0 =
+	// unbounded) — a standing monitor over a large world otherwise
+	// accumulates one cached view per destination it ever sampled.
+	CacheBudget int64
 }
 
 // tickReport is one tick's outcome: the view delta split into deltas a
@@ -174,6 +180,9 @@ type tickReport struct {
 // byte-identical reports at any tick pacing.
 func watch(ctx context.Context, out io.Writer, pf cliflags.Pipeline, opts watchOptions) ([]tickReport, error) {
 	w, pipe, _ := pf.Build()
+	if opts.CacheBudget > 0 {
+		pipe.SetRouteCacheBudget(opts.CacheBudget)
+	}
 	g := w.G
 	rng := rand.New(rand.NewSource(pf.Seed))
 

@@ -56,6 +56,7 @@ func run() error {
 
 	worldCfg := pf.Config()
 	w, p, n := pf.Build()
+	ef.ApplyPipeline(p)
 	fmt.Printf("world: %d ASes, %d metros, %d probes; %d public traceroutes seeded\n",
 		w.G.N(), len(w.G.Metros), len(w.Probes), n)
 

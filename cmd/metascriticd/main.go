@@ -157,6 +157,7 @@ func serve(ctx context.Context, cfg daemonConfig, loadPath, savePath string, rea
 
 	base := metascritic.DefaultConfig()
 	cfg.Engine.Apply(&base, cfg.Seed)
+	cfg.Engine.ApplyPipeline(p)
 	srv := api.NewServer(p, results, api.Options{
 		WorldCfg:     worldCfg,
 		Base:         base,

@@ -32,6 +32,7 @@ import (
 	"metascritic"
 	"metascritic/internal/engine"
 	"metascritic/internal/forensics"
+	"metascritic/internal/sysmem"
 )
 
 // Options configures a Server.
@@ -522,9 +523,18 @@ type statsResponse struct {
 	// pipeline (metascritic.EvolutionStats).
 	LastIngest *metascritic.EvolutionStats `json:"last_ingest,omitempty"`
 	// RouteCache snapshots the shared route cache (bgp.CacheStats), which
-	// since the streaming refactor includes the invalidation counters:
-	// Epoch (passes absorbed), Invalidated and Retained entries.
+	// since the streaming refactor includes the invalidation counters —
+	// Epoch (passes absorbed), Invalidated and Retained entries — and,
+	// with the byte-budgeted cache, the pressure counters: BudgetBytes,
+	// Evicted, EvictedBytes and Bypassed.
 	RouteCache any `json:"route_cache"`
+	// Process reports kernel-level memory counters so an operator can see
+	// cache pressure against real footprint (zeros where procfs is
+	// unavailable).
+	Process struct {
+		PeakRSSBytes    int64 `json:"peak_rss_bytes"`
+		CurrentRSSBytes int64 `json:"current_rss_bytes"`
+	} `json:"process"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -554,5 +564,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.Ingest.Rescores = s.ingestRescores.Load()
 	out.LastIngest = s.lastIngest.Load()
 	out.RouteCache = st.Pipe.Engine.Cache.Stats()
+	mem := sysmem.Read()
+	out.Process.PeakRSSBytes = mem.PeakRSSBytes
+	out.Process.CurrentRSSBytes = mem.CurrentRSSBytes
 	writeJSON(w, http.StatusOK, out)
 }

@@ -274,7 +274,10 @@ func TestRouteCacheMemoizes(t *testing.T) {
 	if st.Hits != 1 || st.Computed != 1 || st.Entries != 1 {
 		t.Fatalf("stats %+v, want 1 hit / 1 computed / 1 entry", st)
 	}
-	if want := int64(r1.Bytes()); st.Bytes != want {
+	// Byte accounting charges the packed arrays plus the per-entry
+	// bookkeeping (map bucket, entry struct, clock slot) so the eviction
+	// budget reflects real footprint.
+	if want := int64(r1.Bytes()) + entryOverheadBytes; st.Bytes != want {
 		t.Fatalf("stats bytes %d, want %d", st.Bytes, want)
 	}
 	if c.Topology() != top {

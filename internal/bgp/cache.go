@@ -16,12 +16,37 @@ import (
 // counts and keeps the shard picker a shift-and-mask.
 const numShards = 16
 
+// entryOverheadBytes is the per-entry bookkeeping charged on top of the
+// packed Routes storage: the Routes slice headers + seq/ref inside
+// cacheEntry (~112 B as a heap object), the map bucket share for an
+// int→pointer entry (~24 B amortized), and the clock-queue slot (8 B).
+// The byte budget is meant to bound real process footprint, so the
+// accounting must include what the shard structures themselves cost, not
+// just the arrays they point at.
+const entryOverheadBytes = 144
+
 // shardOf maps a destination to its shard with a Fibonacci hash — cheap
 // and well mixed even for the sequential destination ids the experiments
 // sweep.
 func shardOf(dest int) uint32 {
 	return (uint32(dest) * 0x9E3779B9) >> 28 & (numShards - 1)
 }
+
+// Admission tells the cache how a lookup relates to the working set.
+//
+// AdmitWorking (the default, used by the measurement pipeline) marks the
+// entry recently-used on hit and always admits on miss. AdmitTransient is
+// for one-shot sweeps — forensics VisibleLinks scans, looking-glass dumps —
+// that read thousands of destinations exactly once: a transient hit does
+// not refresh the entry's clock bit, and a transient miss is not admitted
+// at all when the shard is already at its byte budget, so a sweep cannot
+// evict the measurement working set it races with.
+type Admission uint8
+
+const (
+	AdmitWorking Admission = iota
+	AdmitTransient
+)
 
 // RouteCache computes and memoizes per-destination propagation results in
 // the packed Routes encoding. It is safe for concurrent use: the cache is
@@ -31,10 +56,21 @@ func shardOf(dest int) uint32 {
 // instead of duplicating the run. Under the multi-metro engine many metros
 // ask for the same transit destinations at once.
 //
+// The cache can be byte-bounded (SetBudget): each shard keeps a
+// second-chance FIFO over its entries and evicts cold destinations once
+// its share of the budget is exceeded. Eviction only drops the cache's
+// reference — published views stay immutable and valid — and an evicted
+// destination recomputes through the normal singleflight path on its next
+// lookup, so a bounded cache returns byte-identical routes to an unbounded
+// one (propagation is deterministic per topology epoch).
+//
 // Returned Routes views are immutable; callers may hold them indefinitely.
 type RouteCache struct {
 	t      *Topology
 	shards [numShards]cacheShard
+
+	// budget is the total byte budget across shards; 0 means unbounded.
+	budget atomic.Int64
 
 	// propNanos accumulates wall-time spent inside propagation runs
 	// (summed across workers, so it can exceed elapsed time on
@@ -50,11 +86,38 @@ type RouteCache struct {
 
 type cacheShard struct {
 	mu       sync.Mutex
-	cache    map[int]Routes
+	cache    map[int]*cacheEntry
 	inflight map[int]*routeFlight
-	hits     int64 // lookups served from cache
-	computed int64 // propagation runs actually executed
-	bytes    int64 // packed storage held by this shard
+
+	// queue is the second-chance FIFO: one live slot per cached entry,
+	// identified by (dest, seq). Slots are popped from qhead; a slot
+	// whose seq no longer matches the map entry is stale (the entry was
+	// invalidated or recycled) and is skipped lazily, which keeps
+	// Invalidate O(affected entries) with no queue surgery.
+	queue   []clockSlot
+	qhead   int
+	nextSeq uint32
+
+	hits         int64 // lookups served from cache
+	computed     int64 // propagation runs actually executed
+	bytes        int64 // footprint held: packed storage + per-entry overhead
+	evicted      int64 // entries dropped by budget eviction
+	evictedBytes int64 // bytes released by budget eviction
+	bypassed     int64 // transient misses not admitted (shard at budget)
+}
+
+// cacheEntry is one cached destination. ref is the clock bit: set on a
+// working-set hit, cleared (second chance) the first time the eviction
+// scan reaches the entry, evicted the second time.
+type cacheEntry struct {
+	routes Routes
+	seq    uint32
+	ref    bool
+}
+
+type clockSlot struct {
+	dest int32
+	seq  uint32
 }
 
 // routeFlight is one in-progress propagation; routes is written before
@@ -64,30 +127,79 @@ type routeFlight struct {
 	routes Routes
 }
 
-// NewRouteCache returns a cache over t.
+// NewRouteCache returns an unbounded cache over t.
 func NewRouteCache(t *Topology) *RouteCache {
 	c := &RouteCache{t: t}
 	for i := range c.shards {
-		c.shards[i].cache = map[int]Routes{}
+		c.shards[i].cache = map[int]*cacheEntry{}
 		c.shards[i].inflight = map[int]*routeFlight{}
 	}
 	return c
 }
 
+// SetBudget bounds the cache to roughly budget bytes of route storage
+// (packed arrays + per-entry overhead), split evenly across shards. A
+// budget <= 0 removes the bound. Shrinking the budget evicts immediately;
+// each shard always retains at least one entry, so a budget smaller than
+// one packed view degrades to per-shard most-recent caching rather than
+// thrashing forever.
+func (c *RouteCache) SetBudget(budget int64) {
+	if budget < 0 {
+		budget = 0
+	}
+	c.budget.Store(budget)
+	if budget == 0 {
+		return
+	}
+	per := c.shardBudget()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.evict(per)
+		sh.mu.Unlock()
+	}
+}
+
+// Budget returns the configured byte budget (0 = unbounded).
+func (c *RouteCache) Budget() int64 { return c.budget.Load() }
+
+// shardBudget is one shard's share of the total budget, rounded up.
+func (c *RouteCache) shardBudget() int64 {
+	b := c.budget.Load()
+	if b <= 0 {
+		return 0
+	}
+	return (b + numShards - 1) / numShards
+}
+
+// entrySize is the footprint charged for one cached view.
+func entrySize(r Routes) int64 { return int64(r.Bytes()) + entryOverheadBytes }
+
 // RoutesTo returns (computing if needed) all ASes' best routes toward
-// dest as a packed view.
+// dest as a packed view, admitting the entry to the working set.
 func (c *RouteCache) RoutesTo(dest int) Routes {
-	return c.routesTo(dest, nil)
+	return c.routesTo(dest, nil, AdmitWorking)
+}
+
+// RoutesToTransient is RoutesTo for one-shot sweeps: the lookup neither
+// refreshes the entry's recency nor admits a new entry when the shard is
+// already at its byte budget (see Admission).
+func (c *RouteCache) RoutesToTransient(dest int) Routes {
+	return c.routesTo(dest, nil, AdmitTransient)
 }
 
 // routesTo is RoutesTo with an optional caller-owned propagation scratch;
 // fan-out workers pass their per-worker scratch, single lookups borrow one
 // from the pool for the duration of the run.
-func (c *RouteCache) routesTo(dest int, s *propScratch) Routes {
+func (c *RouteCache) routesTo(dest int, s *propScratch, adm Admission) Routes {
 	sh := &c.shards[shardOf(dest)]
 	sh.mu.Lock()
-	if r, ok := sh.cache[dest]; ok {
+	if e, ok := sh.cache[dest]; ok {
 		sh.hits++
+		if adm == AdmitWorking {
+			e.ref = true
+		}
+		r := e.routes
 		sh.mu.Unlock()
 		return r
 	}
@@ -118,13 +230,69 @@ func (c *RouteCache) routesTo(dest int, s *propScratch) Routes {
 	}
 	fl.routes = r
 
+	per := c.shardBudget()
 	sh.mu.Lock()
-	sh.cache[dest] = r
-	sh.bytes += int64(r.Bytes())
+	if adm == AdmitTransient && per > 0 && sh.bytes+entrySize(r) > per {
+		// A sweep destination the budget has no room for: hand the view
+		// to the caller (and any singleflight joiners) without caching
+		// it, so the sweep cannot push the working set out.
+		sh.bypassed++
+	} else {
+		sh.insert(dest, r)
+		sh.evict(per)
+	}
 	delete(sh.inflight, dest)
 	sh.mu.Unlock()
 	close(fl.done)
 	return r
+}
+
+// insert adds a freshly computed view under sh.mu.
+func (sh *cacheShard) insert(dest int, r Routes) {
+	sh.nextSeq++
+	sh.cache[dest] = &cacheEntry{routes: r, seq: sh.nextSeq}
+	sh.queue = append(sh.queue, clockSlot{dest: int32(dest), seq: sh.nextSeq})
+	sh.bytes += entrySize(r)
+}
+
+// evict walks the second-chance queue under sh.mu until the shard fits its
+// budget share (0 = unbounded, no-op). Entries with the clock bit set get
+// it cleared and move to the back; stale slots — seq mismatch after an
+// invalidation or recycle — are skipped. At least one entry is always
+// retained so an oversized single view cannot thrash.
+func (sh *cacheShard) evict(budget int64) {
+	if budget <= 0 {
+		return
+	}
+	for sh.bytes > budget && len(sh.cache) > 1 && sh.qhead < len(sh.queue) {
+		slot := sh.queue[sh.qhead]
+		sh.qhead++
+		e, ok := sh.cache[int(slot.dest)]
+		if !ok || e.seq != slot.seq {
+			continue // stale: entry invalidated or recycled since queued
+		}
+		if e.ref {
+			e.ref = false
+			sh.queue = append(sh.queue, slot)
+			continue
+		}
+		size := entrySize(e.routes)
+		delete(sh.cache, int(slot.dest))
+		sh.bytes -= size
+		sh.evicted++
+		sh.evictedBytes += size
+	}
+	sh.compact()
+}
+
+// compact reclaims the consumed queue prefix once it dominates the slice,
+// keeping queue memory proportional to the live entry count.
+func (sh *cacheShard) compact() {
+	if sh.qhead > 64 && sh.qhead > len(sh.queue)/2 {
+		n := copy(sh.queue, sh.queue[sh.qhead:])
+		sh.queue = sh.queue[:n]
+		sh.qhead = 0
+	}
 }
 
 // Contains reports whether dest's routes are already cached. An in-flight
@@ -182,7 +350,7 @@ func (c *RouteCache) Warm(ctx context.Context, dests []int, workers int) int {
 				if i >= len(todo) {
 					return
 				}
-				c.routesTo(todo[i], s)
+				c.routesTo(todo[i], s, AdmitWorking)
 			}
 		}()
 	}
@@ -202,7 +370,7 @@ func (c *RouteCache) RoutesToAll(ctx context.Context, dests []int, workers int) 
 	}
 	out := make([]Routes, len(dests))
 	for i, d := range dests {
-		out[i] = c.routesTo(d, nil)
+		out[i] = c.routesTo(d, nil, AdmitWorking)
 	}
 	return out, nil
 }
@@ -225,23 +393,29 @@ func (c *RouteCache) Computed() int64 {
 func (c *RouteCache) Topology() *Topology { return c.t }
 
 // CacheStats is a point-in-time snapshot of a route cache's counters,
-// surfaced through engine.RunStats and the CLI batch summary.
+// surfaced through engine.RunStats, the daemon's /admin/stats, and the
+// CLI batch summary.
 type CacheStats struct {
-	Shards      int           // number of lock shards
-	Entries     int           // cached destinations
-	Bytes       int64         // packed route storage held
-	Hits        int64         // lookups served from cache
-	Computed    int64         // propagation runs executed (misses after dedup)
-	PropTime    time.Duration // wall-time summed over propagation runs
-	Epoch       uint32        // invalidation passes absorbed
-	Invalidated int64         // entries dropped by scoped/full invalidation
-	Retained    int64         // entries that survived scoped invalidation passes
+	Shards       int           // number of lock shards
+	Entries      int           // cached destinations
+	Bytes        int64         // footprint held (packed storage + per-entry overhead)
+	BudgetBytes  int64         // configured byte budget (0 = unbounded)
+	Hits         int64         // lookups served from cache
+	Computed     int64         // propagation runs executed (misses after dedup)
+	Evicted      int64         // entries dropped by budget eviction
+	EvictedBytes int64         // bytes released by budget eviction
+	Bypassed     int64         // transient lookups not admitted (shard at budget)
+	PropTime     time.Duration // wall-time summed over propagation runs
+	Epoch        uint32        // invalidation passes absorbed
+	Invalidated  int64         // entries dropped by scoped/full invalidation
+	Retained     int64         // entries that survived scoped invalidation passes
 }
 
 // Stats snapshots the cache counters across all shards.
 func (c *RouteCache) Stats() CacheStats {
 	st := CacheStats{
 		Shards:      numShards,
+		BudgetBytes: c.budget.Load(),
 		PropTime:    time.Duration(c.propNanos.Load()),
 		Epoch:       c.epoch.Load(),
 		Invalidated: c.invalidated.Load(),
@@ -254,6 +428,9 @@ func (c *RouteCache) Stats() CacheStats {
 		st.Bytes += sh.bytes
 		st.Hits += sh.hits
 		st.Computed += sh.computed
+		st.Evicted += sh.evicted
+		st.EvictedBytes += sh.evictedBytes
+		st.Bypassed += sh.bypassed
 		sh.mu.Unlock()
 	}
 	return st
@@ -269,13 +446,17 @@ func (c *RouteCache) Stats() CacheStats {
 // AS), so instead of re-walking one full path per monitor the walk stops
 // at the first AS already visited for this destination — every link past
 // it was emitted by an earlier monitor's walk.
+//
+// The sweep reads each destination once, so lookups use transient
+// admission: on a budgeted cache a forensics scan cannot evict the
+// measurement working set it runs beside.
 func VisibleLinks(cache *RouteCache, monitors []int, dests []int) map[asgraph.Pair]bool {
 	visible := map[asgraph.Pair]bool{}
 	n := cache.t.n
 	visited := make([]uint32, n)
 	var epoch uint32
 	for _, d := range dests {
-		routes := cache.RoutesTo(d)
+		routes := cache.RoutesToTransient(d)
 		epoch++
 		for _, m := range monitors {
 			if m < 0 || m >= n || !routes.Reachable(m) {
@@ -302,11 +483,12 @@ func VisibleLinks(cache *RouteCache, monitors []int, dests []int) map[asgraph.Pa
 // LookingGlass returns one AS's full routing view toward the given
 // destinations: the AS-level paths its selected best routes follow. This
 // is the per-operator view the paper queries from public Looking Glass
-// servers (§4.1, Appx. H).
+// servers (§4.1, Appx. H). Lookups use transient admission (see
+// VisibleLinks).
 func LookingGlass(cache *RouteCache, as int, dests []int) map[int][]int {
 	out := make(map[int][]int, len(dests))
 	for _, d := range dests {
-		if p := cache.RoutesTo(d).PathFrom(as); p != nil {
+		if p := cache.RoutesToTransient(d).PathFrom(as); p != nil {
 			out[d] = p
 		}
 	}
@@ -324,13 +506,14 @@ type FlatteningMetrics struct {
 }
 
 // Flattening computes FlatteningMetrics over the given sources and
-// destinations (skipping src == dst and unreachable pairs).
+// destinations (skipping src == dst and unreachable pairs). Lookups use
+// transient admission (see VisibleLinks).
 func Flattening(cache *RouteCache, sources, dests []int) FlatteningMetrics {
 	var m FlatteningMetrics
 	var lenSum float64
 	provider := 0
 	for _, d := range dests {
-		routes := cache.RoutesTo(d)
+		routes := cache.RoutesToTransient(d)
 		for _, s := range sources {
 			if s == d || !routes.Reachable(s) {
 				continue

@@ -98,14 +98,17 @@ func removeAdj(xs []int32, v int32) ([]int32, bool) {
 // serving hits. Index-space growth (new-AS arrival) is not expressible as
 // a link set; use InvalidateAll after Grow. Transit (C2P) churn is out of
 // scope for the same reason.
+// Dropped entries leave their clock-queue slots behind; eviction skips
+// them lazily by sequence mismatch, so invalidation stays O(cached
+// entries) with no queue surgery.
 func (c *RouteCache) Invalidate(links [][2]int) int {
 	dropped := 0
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		for d, r := range sh.cache {
-			if routesAffected(r, links) {
-				sh.bytes -= int64(r.Bytes())
+		for d, e := range sh.cache {
+			if routesAffected(e.routes, links) {
+				sh.bytes -= entrySize(e.routes)
 				delete(sh.cache, d)
 				dropped++
 			} else {
@@ -160,7 +163,9 @@ func (c *RouteCache) InvalidateAll() int {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		dropped += len(sh.cache)
-		sh.cache = map[int]Routes{}
+		sh.cache = map[int]*cacheEntry{}
+		sh.queue = nil
+		sh.qhead = 0
 		sh.bytes = 0
 		sh.mu.Unlock()
 	}

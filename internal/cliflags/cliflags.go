@@ -88,11 +88,23 @@ type Engine struct {
 	// SharePriors streams learned strategy priors between a batch's
 	// metros.
 	SharePriors bool `json:"share_priors"`
+	// RouteCacheMB bounds the pipeline's shared route cache in MiB
+	// (0 = unbounded). At Internet scale one packed view is ~800 KB, so
+	// an unbounded cache grows by that much per distinct destination.
+	RouteCacheMB int `json:"route_cache_mb"`
+	// MetroMembers caps the colocated candidate set per metro
+	// (Config.MaxMetroMembers; 0 disables pruning).
+	MetroMembers int `json:"metro_members"`
 }
 
 // DefaultEngine is the baseline used by the CLIs.
 func DefaultEngine() Engine {
-	return Engine{Budget: 20000, Workers: runtime.GOMAXPROCS(0), SharePriors: true}
+	return Engine{
+		Budget:       20000,
+		Workers:      runtime.GOMAXPROCS(0),
+		SharePriors:  true,
+		MetroMembers: metascritic.DefaultConfig().MaxMetroMembers,
+	}
 }
 
 // Register adds the group's flags to fs.
@@ -100,13 +112,22 @@ func (e *Engine) Register(fs *flag.FlagSet) {
 	fs.IntVar(&e.Budget, "budget", e.Budget, "targeted traceroute budget")
 	fs.IntVar(&e.Workers, "workers", e.Workers, "engine worker pool size")
 	fs.BoolVar(&e.SharePriors, "share-priors", e.SharePriors, "stream learned strategy priors from finished metros into later ones")
+	fs.IntVar(&e.RouteCacheMB, "route-cache-mb", e.RouteCacheMB, "route cache byte budget in MiB (0 = unbounded)")
+	fs.IntVar(&e.MetroMembers, "metro-members", e.MetroMembers, "cap on colocated candidate ASes per metro (0 = no cap)")
 }
 
 // Apply copies the group onto a pipeline config (the seed comes from the
 // World group so a whole run stays a function of one seed).
 func (e Engine) Apply(cfg *metascritic.Config, seed int64) {
 	cfg.MaxMeasurements = e.Budget
+	cfg.MaxMetroMembers = e.MetroMembers
 	cfg.Seed = seed
+}
+
+// ApplyPipeline installs the group's pipeline-level knobs (the route
+// cache budget) on a built pipeline.
+func (e Engine) ApplyPipeline(p *metascritic.Pipeline) {
+	p.SetRouteCacheBudget(int64(e.RouteCacheMB) << 20)
 }
 
 // LoadJSON fills v (a flag-group struct, or a struct embedding several)

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"metascritic"
+	"metascritic/internal/sysmem"
 )
 
 // MetroSeed derives the RNG seed metro runs use from a base seed: widely
@@ -311,6 +312,7 @@ func (e *Engine) RunAll(ctx context.Context, cfg Config) (*MultiResult, error) {
 	// Snapshots share the baseline pipeline's traceroute engine and its
 	// route cache, so this snapshot covers the whole batch.
 	out.Stats.RouteCache = e.pipe.Engine.Cache.Stats()
+	out.Stats.PeakRSSBytes = sysmem.PeakRSSBytes()
 	if err != nil {
 		return out, err
 	}

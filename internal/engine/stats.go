@@ -52,6 +52,12 @@ type RunStats struct {
 	// all metros propagate over one true topology, so the shard/byte/hit
 	// counters are batch-global.
 	RouteCache bgp.CacheStats
+	// PeakRSSBytes is the process resident-set high-water mark (VmHWM)
+	// sampled at the end of the batch, 0 where procfs is unavailable.
+	// It is process-global and monotonic — earlier batches and other
+	// goroutines contribute — but it is the number memory budgeting at
+	// 100k scale is gated on, so it rides along with every batch.
+	PeakRSSBytes int64
 	// PerMetro holds one entry per metro, in scheduling order.
 	PerMetro []MetroStats
 }

@@ -57,10 +57,10 @@ func (s *Store) EncodeEvidence() []byte {
 		row := s.transit[p]
 		u(len(row))
 		for _, to := range row {
-			u(to.metro)
-			u(to.near)
-			u(to.probe.as)
-			u(to.probe.metro)
+			u(int(to.metro))
+			u(int(to.near))
+			u(int(to.probe.as))
+			u(int(to.probe.metro))
 			u(int(to.epoch))
 		}
 	}
@@ -73,10 +73,10 @@ func (s *Store) EncodeEvidence() []byte {
 	sortSeenKeys(sk)
 	u(len(sk))
 	for _, k := range sk {
-		u(k.vpAS)
-		u(k.vpMetro)
-		u(k.as)
-		u(k.metro)
+		u(int(k.vpAS))
+		u(int(k.vpMetro))
+		u(int(k.as))
+		u(int(k.metro))
 	}
 
 	// probeTraces: sorted probes with their trace counts.
@@ -92,8 +92,8 @@ func (s *Store) EncodeEvidence() []byte {
 	})
 	u(len(pk))
 	for _, k := range pk {
-		u(k.as)
-		u(k.metro)
+		u(int(k.as))
+		u(int(k.metro))
 		u(s.probeTraces[k])
 	}
 
@@ -106,10 +106,10 @@ func (s *Store) EncodeEvidence() []byte {
 	sortSeenKeys(gk)
 	u(len(gk))
 	for _, k := range gk {
-		u(k.vpAS)
-		u(k.vpMetro)
-		u(k.as)
-		u(k.metro)
+		u(int(k.vpAS))
+		u(int(k.vpMetro))
+		u(int(k.as))
+		u(int(k.metro))
 		row := s.gate[k]
 		u(len(row))
 		for _, p := range row {
@@ -194,9 +194,9 @@ func (s *Store) LoadEvidence(data []byte) error {
 		row := make([]transitObs, m)
 		for j := 0; j < m && d.err == nil; j++ {
 			row[j] = transitObs{
-				metro: d.uint("transit metro"),
-				near:  d.uint("transit near"),
-				probe: probeKey{d.uint("transit probe AS"), d.uint("transit probe metro")},
+				metro: d.id("transit metro"),
+				near:  d.id("transit near"),
+				probe: probeKey{d.id("transit probe AS"), d.id("transit probe metro")},
 				epoch: uint32(d.uint("transit epoch stamp")),
 			}
 		}
@@ -213,7 +213,7 @@ func (s *Store) LoadEvidence(data []byte) error {
 	n = d.count("probes")
 	prevProbe := probeKey{-1, -1}
 	for i := 0; i < n && d.err == nil; i++ {
-		k := probeKey{d.uint("probe AS"), d.uint("probe metro")}
+		k := probeKey{d.id("probe AS"), d.id("probe metro")}
 		if d.err == nil && i > 0 && !probeLess(prevProbe, k) {
 			d.fail("probes not strictly sorted at %d", i)
 		}
@@ -337,6 +337,17 @@ func (d *evidenceDecoder) uint(what string) int {
 	return int(v)
 }
 
+// id reads an AS/metro index into the hot records' int32 domain,
+// rejecting values a packed record could not hold.
+func (d *evidenceDecoder) id(what string) int32 {
+	v := d.uint(what)
+	if d.err == nil && v > 1<<31-1 {
+		d.fail("%s %d overflows the packed int32 record", what, v)
+		return 0
+	}
+	return int32(v)
+}
+
 // count reads a collection length, rejecting counts that could not fit in
 // the remaining input (every element costs at least one byte) before any
 // allocation happens.
@@ -375,10 +386,10 @@ func (d *evidenceDecoder) rawPair(what string) asgraph.Pair {
 
 func (d *evidenceDecoder) seenKey(section string, i int, prev *seenKey) seenKey {
 	k := seenKey{
-		vpAS:    d.uint(section + " vpAS"),
-		vpMetro: d.uint(section + " vpMetro"),
-		as:      d.uint(section + " as"),
-		metro:   d.uint(section + " metro"),
+		vpAS:    d.id(section + " vpAS"),
+		vpMetro: d.id(section + " vpMetro"),
+		as:      d.id(section + " as"),
+		metro:   d.id(section + " metro"),
 	}
 	if d.err == nil && i > 0 && !seenLess(*prev, k) {
 		d.fail("%s keys not strictly sorted at %d", section, i)

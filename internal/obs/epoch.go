@@ -46,7 +46,7 @@ func (s *Store) stale(e uint32) bool { return s.epoch >= e+staleWindow }
 // markEpoch logs that pr gained an evidence stamp in the current epoch,
 // so the future AdvanceEpoch that makes the stamp stale can dirty pr.
 func (s *Store) markEpoch(pr asgraph.Pair) {
-	s.epochLog = append(s.epochLog, epochMark{pair: pr, epoch: s.epoch})
+	s.epochLog = appendClamped(s.epochLog, epochMark{pair: pr, epoch: s.epoch})
 }
 
 // AdvanceEpoch moves the store to the next topology epoch (the caller
@@ -70,7 +70,7 @@ func (s *Store) AdvanceEpoch() uint32 {
 	// Over-dirtying is harmless (applyPair is idempotent); a pair whose
 	// record was re-stamped since cutoff is re-derived to the same value.
 	for _, mk := range s.epochLog[lo:hi] {
-		s.dirty = append(s.dirty, mk.pair)
+		s.dirty = appendClamped(s.dirty, mk.pair)
 	}
 	return s.epoch
 }

@@ -271,7 +271,7 @@ func (s *Store) negEvidence(pr asgraph.Pair, metro int, policy NegativePolicy, m
 	}
 	best := 0.0 // strongest magnitude
 	for _, to := range s.transit[pr] {
-		sc := s.g.ScopeOfMetros(to.metro, metro)
+		sc := s.g.ScopeOfMetros(int(to.metro), metro)
 		if sc > maxScope {
 			continue
 		}
@@ -287,7 +287,7 @@ func (s *Store) negEvidence(pr asgraph.Pair, metro int, policy NegativePolicy, m
 		// what licenses reading the detour as evidence of a missing
 		// direct link there. NegFull skips the gate (E.7 ablation).
 		if policy == NegWellPositioned || policy == NegMetascritic {
-			if !s.WellPositioned(to.probe.as, to.probe.metro, to.near, to.metro) {
+			if !s.wellPositioned(to.probe, to.near, to.metro) {
 				continue
 			}
 		}

@@ -1,0 +1,21 @@
+package obs
+
+// appendClamped appends items to a long-lived append-only log. Once the
+// backing array is large, growth is clamped to +25% instead of append's
+// doubling: the dirty and epoch logs live for the whole pipeline run and
+// at Internet scale reach millions of entries, where a 2x overshoot is
+// pure resident waste held until the store dies. Below the threshold the
+// behavior is exactly append's.
+func appendClamped[T any](log []T, items ...T) []T {
+	const clampLen = 1 << 15
+	if len(log)+len(items) > cap(log) && cap(log) >= clampLen {
+		newCap := cap(log) + cap(log)/4
+		for newCap < len(log)+len(items) {
+			newCap += newCap / 4
+		}
+		grown := make([]T, len(log), newCap)
+		copy(grown, log)
+		log = grown
+	}
+	return append(log, items...)
+}

@@ -56,20 +56,25 @@ func TransferWeight(s asgraph.GeoScope) float64 {
 	}
 }
 
-// probeKey identifies a vantage point.
-type probeKey struct{ as, metro int }
+// probeKey identifies a vantage point. AS and metro indices are int32 in
+// the hot record types: the store holds millions of these records at
+// Internet scale (100k ASes), and int32 halves the key/record widths
+// while covering any index space the graph substrate (itself int32
+// adjacency) can represent.
+type probeKey struct{ as, metro int32 }
 
 // seenKey identifies one probe-coverage fact: the probe at (vpAS, vpMetro)
 // has traversed an interface of AS `as` at metro `metro`. It doubles as
 // the key of the well-positioned gate index (§3.4): a transit observation
 // whose probe lacks exactly this coverage is parked under it until the
 // coverage arrives.
-type seenKey struct{ vpAS, vpMetro, as, metro int }
+type seenKey struct{ vpAS, vpMetro, as, metro int32 }
 
-// transitObs is one observed "i → transit → j" pattern.
+// transitObs is one observed "i → transit → j" pattern (20 bytes packed;
+// these dominate the transit map's footprint at scale).
 type transitObs struct {
-	metro int // metro of the crossing into the transit
-	near  int // the AS on the probe side of the transit (i in the paper)
+	metro int32 // metro of the crossing into the transit
+	near  int32 // the AS on the probe side of the transit (i in the paper)
 	probe probeKey
 	epoch uint32 // store epoch the pattern was observed in (see epoch.go)
 }
@@ -204,7 +209,7 @@ type traceSeg struct {
 // older transit observations just became licensed by this trace's probe
 // coverage) accumulate in the dirty log that Refresh drains.
 func (s *Store) AddTrace(tr traceroute.Trace) []Finding {
-	pk := probeKey{tr.VPAS, tr.VPMetro}
+	pk := probeKey{int32(tr.VPAS), int32(tr.VPMetro)}
 	s.ownProbes()
 	s.probeTraces[pk]++
 
@@ -272,7 +277,7 @@ func (s *Store) AddTrace(tr traceroute.Trace) []Finding {
 		}
 		pr := asgraph.MakePair(x, y)
 		m := segs[i-1].metro // where the flow entered the transit
-		s.addTransit(pr, transitObs{metro: m, near: x, probe: pk})
+		s.addTransit(pr, transitObs{metro: int32(m), near: int32(x), probe: pk})
 		findings = append(findings, Finding{Pair: pr, Metro: m, Direct: false})
 	}
 	return findings
@@ -283,14 +288,14 @@ func (s *Store) AddTrace(tr traceroute.Trace) []Finding {
 // licensed are appended to the dirty log so delta-refreshed estimates
 // re-derive them.
 func (s *Store) coverProbe(pk probeKey, as, metro int) {
-	k := seenKey{pk.as, pk.metro, as, metro}
+	k := seenKey{pk.as, pk.metro, int32(as), int32(metro)}
 	if s.probeSeen[k] {
 		return
 	}
 	s.probeSeen[k] = true // probes group already owned by AddTrace
 	if len(s.gate[k]) > 0 {
 		s.ownIndex()
-		s.dirty = append(s.dirty, s.gate[k]...)
+		s.dirty = appendClamped(s.dirty, s.gate[k]...)
 		delete(s.gate, k)
 	}
 }
@@ -310,7 +315,7 @@ func (s *Store) addDirect(pr asgraph.Pair, m int) {
 		s.ownDirect()
 		s.directEpoch[pr][pos] = s.epoch
 		s.markEpoch(pr)
-		s.dirty = append(s.dirty, pr)
+		s.dirty = appendClamped(s.dirty, pr)
 		return
 	}
 	s.ownDirect()
@@ -330,13 +335,13 @@ func (s *Store) addDirect(pr asgraph.Pair, m int) {
 	if tl := s.transit[pr]; len(tl) > 0 {
 		best := asgraph.NumGeoScopes
 		for _, to := range tl {
-			if sc := s.g.ScopeOfMetros(m, to.metro); sc < best {
+			if sc := s.g.ScopeOfMetros(m, int(to.metro)); sc < best {
 				best = sc
 			}
 		}
 		s.noteConflict(pr, best)
 	}
-	s.dirty = append(s.dirty, pr)
+	s.dirty = appendClamped(s.dirty, pr)
 }
 
 // addTransit records one transit observation, maintaining the conflict
@@ -349,7 +354,7 @@ func (s *Store) addTransit(pr asgraph.Pair, to transitObs) {
 	if dm := s.direct[pr]; len(dm) > 0 {
 		best := asgraph.NumGeoScopes
 		for _, m := range dm {
-			if sc := s.g.ScopeOfMetros(int(m), to.metro); sc < best {
+			if sc := s.g.ScopeOfMetros(int(m), int(to.metro)); sc < best {
 				best = sc
 			}
 		}
@@ -367,7 +372,7 @@ func (s *Store) addTransit(pr asgraph.Pair, to transitObs) {
 			s.gate[k] = append(s.gate[k], pr)
 		}
 	}
-	s.dirty = append(s.dirty, pr)
+	s.dirty = appendClamped(s.dirty, pr)
 }
 
 // searchMetros returns the position of m in the sorted metro list (or its
@@ -412,9 +417,15 @@ func (s *Store) DirectMetros(a, b int) []int {
 // metro m: it has traversed an interface of i at m, or has issued no
 // traceroute at all (§3.4).
 func (s *Store) WellPositioned(vpAS, vpMetro, i, m int) bool {
-	pk := probeKey{vpAS, vpMetro}
+	return s.wellPositioned(probeKey{int32(vpAS), int32(vpMetro)}, int32(i), int32(m))
+}
+
+// wellPositioned is WellPositioned on the packed record types — the
+// estimate hot loop reads transit records directly, so it skips the
+// int round-trip.
+func (s *Store) wellPositioned(pk probeKey, i, m int32) bool {
 	if s.probeTraces[pk] == 0 {
 		return true
 	}
-	return s.probeSeen[seenKey{vpAS, vpMetro, i, m}]
+	return s.probeSeen[seenKey{pk.as, pk.metro, i, m}]
 }

@@ -1,0 +1,57 @@
+package probe
+
+import (
+	"sort"
+
+	"metascritic/internal/asgraph"
+)
+
+// TopMembers caps a metro's candidate member set at k ASes, keeping the
+// ones most worth completing: Internet-scale worlds put thousands of
+// colocated ASes in head metros, and every per-pair structure downstream —
+// the selector's penalty/exploration planes, the estimate E_m, the ALS
+// ratings — is O(members²), so an uncapped dense metro dominates a whole
+// run's footprint.
+//
+// Ranking is by customer-cone size with total degree as the tie-break
+// (larger cones first): high-cone transit ASes anchor the most links and
+// the most strategy categories, while the pruned tail is stub ASes whose
+// rows would be nearly empty anyway. Ties beyond (cone, degree) break by
+// AS index, so the selection is deterministic. The kept subset preserves
+// the original member order — callers' row indexing, golden results and
+// byte-identity tests see exactly the input slice when len(members) <= k.
+func TopMembers(g *asgraph.Graph, members []int, k int) []int {
+	if k <= 0 || len(members) <= k {
+		return members
+	}
+	type scored struct {
+		pos  int // position in the original member slice
+		cone int
+		deg  int
+	}
+	sc := make([]scored, len(members))
+	for p, m := range members {
+		sc[p] = scored{
+			pos:  p,
+			cone: g.ConeSize(m),
+			deg:  len(g.Providers[m]) + len(g.Customers[m]) + len(g.Peers[m]),
+		}
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		a, b := sc[i], sc[j]
+		if a.cone != b.cone {
+			return a.cone > b.cone
+		}
+		if a.deg != b.deg {
+			return a.deg > b.deg
+		}
+		return members[a.pos] < members[b.pos]
+	})
+	keep := sc[:k]
+	sort.Slice(keep, func(i, j int) bool { return keep[i].pos < keep[j].pos })
+	out := make([]int, k)
+	for i, s := range keep {
+		out[i] = members[s.pos]
+	}
+	return out
+}

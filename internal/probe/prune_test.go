@@ -1,0 +1,85 @@
+package probe
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"metascritic/internal/asgraph"
+)
+
+// pruneGraph builds a star of transit tiers: AS 0 at the top, ASes 1..3
+// mid-tier (each buying from 0), and stubs 4..n-1 buying from a mid-tier
+// provider round-robin. Cone sizes strictly decrease down the tiers.
+func pruneGraph(n int) *asgraph.Graph {
+	g := asgraph.NewGraph()
+	g.Continents = []string{"EU"}
+	g.Countries = []asgraph.Country{{Code: "NL", Continent: 0}}
+	g.Metros = []*asgraph.Metro{{Index: 0, Name: "Amsterdam", Country: 0}}
+	for i := 0; i < n; i++ {
+		g.AddAS(&asgraph.AS{ASN: 100 + i, Metros: []int{0}})
+	}
+	for i := 1; i <= 3 && i < n; i++ {
+		g.AddC2P(i, 0)
+	}
+	for i := 4; i < n; i++ {
+		g.AddC2P(i, 1+(i%3))
+	}
+	return g
+}
+
+func TestTopMembersPassthroughBelowCap(t *testing.T) {
+	g := pruneGraph(10)
+	members := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	for _, k := range []int{0, 10, 11, 100} {
+		got := TopMembers(g, members, k)
+		if &got[0] != &members[0] || len(got) != len(members) {
+			t.Fatalf("k=%d: below-cap members must pass through as the identical slice", k)
+		}
+	}
+}
+
+func TestTopMembersKeepsHighConeInOrder(t *testing.T) {
+	g := pruneGraph(12)
+	members := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	got := TopMembers(g, members, 4)
+	// Cone sizes: AS 0 covers everyone, 1..3 cover their stub thirds,
+	// stubs cover only themselves — the top 4 is exactly the transit tier,
+	// in original member order.
+	want := []int{0, 1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopMembers = %v, want %v", got, want)
+	}
+	// The input slice is never mutated.
+	if !reflect.DeepEqual(members, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}) {
+		t.Fatalf("input members mutated: %v", members)
+	}
+}
+
+func TestTopMembersDeterministicTies(t *testing.T) {
+	// All stubs tie on (cone=1, deg=1): the cap must keep the
+	// lowest-indexed ones, and repeated calls must agree exactly.
+	g := pruneGraph(20)
+	stubs := []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	first := TopMembers(g, stubs, 5)
+	if !reflect.DeepEqual(first, []int{4, 5, 6, 7, 8}) {
+		t.Fatalf("tie-break not by index: %v", first)
+	}
+	for i := 0; i < 3; i++ {
+		if got := TopMembers(g, stubs, 5); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d: nondeterministic pruning %v vs %v", i, got, first)
+		}
+	}
+}
+
+func TestTopMembersDegreeTieBreak(t *testing.T) {
+	// Two stubs with equal cones but different degree: extra peerings
+	// promote the denser one.
+	g := pruneGraph(8)
+	g.AddPeer(5, 6)
+	g.AddPeer(5, 7)
+	got := TopMembers(g, []int{4, 5}, 1)
+	if fmt.Sprint(got) != "[5]" {
+		t.Fatalf("degree tie-break picked %v, want [5]", got)
+	}
+}

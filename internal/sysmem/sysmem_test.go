@@ -1,0 +1,33 @@
+package sysmem
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestRSSCounters(t *testing.T) {
+	st := Read()
+	if runtime.GOOS != "linux" {
+		t.Skipf("procfs counters unavailable on %s (%+v)", runtime.GOOS, st)
+	}
+	if st.CurrentRSSBytes <= 0 {
+		t.Fatalf("VmRSS = %d, want > 0 on linux", st.CurrentRSSBytes)
+	}
+	if st.PeakRSSBytes <= 0 {
+		t.Fatalf("VmHWM = %d, want > 0 on linux", st.PeakRSSBytes)
+	}
+	// The high-water mark is monotonic and tracks new allocation peaks.
+	sink := make([]byte, 64<<20)
+	for i := range sink {
+		sink[i] = byte(i)
+	}
+	after := Read()
+	if after.PeakRSSBytes < st.PeakRSSBytes {
+		t.Fatalf("peak RSS decreased %d -> %d", st.PeakRSSBytes, after.PeakRSSBytes)
+	}
+	if after.PeakRSSBytes < st.CurrentRSSBytes {
+		t.Fatalf("peak RSS %d below earlier current RSS %d after touching 64 MiB",
+			after.PeakRSSBytes, st.CurrentRSSBytes)
+	}
+	runtime.KeepAlive(sink)
+}

@@ -64,6 +64,16 @@ type Config struct {
 	// to N workers with an ordered commit. The resulting Result is
 	// byte-identical across worker counts.
 	MeasureWorkers int
+	// MaxMetroMembers caps the colocated candidate set a metro run works
+	// over: metros with more members are pruned to the top-K by
+	// customer-cone size (degree tie-break, original order preserved; see
+	// probe.TopMembers). Every per-pair structure — selector penalty
+	// planes, the estimate E_m, the ALS ratings — is O(members²), so the
+	// cap is what keeps dense Internet-scale metros (Zipf head metros
+	// reach thousands of colocated ASes) inside a bounded footprint. The
+	// default is far above any legacy-scale metro, so behavior below the
+	// threshold is exactly unchanged. 0 disables pruning.
+	MaxMetroMembers int
 	// StrictBudget makes Run fail with ErrBudgetExhausted when
 	// MaxMeasurements runs dry before the bootstrap calibration plan
 	// completes, instead of silently proceeding with partially calibrated
@@ -83,6 +93,7 @@ func DefaultConfig() Config {
 		Rank:                 rank.DefaultConfig(),
 		PriorWeight:          20,
 		BootstrapPerStrategy: 6,
+		MaxMetroMembers:      1024,
 		Seed:                 1,
 	}
 }
@@ -300,6 +311,14 @@ func NewPipeline(w *netsim.World) *Pipeline {
 		}
 	}
 	return p
+}
+
+// SetRouteCacheBudget bounds the pipeline's shared route cache to roughly
+// the given number of bytes (0 = unbounded): cold destinations are
+// evicted second-chance style and recompute on demand, so results are
+// unchanged — only the hit rate moves. See bgp.RouteCache.SetBudget.
+func (p *Pipeline) SetRouteCacheBudget(bytes int64) {
+	p.Engine.Cache.SetBudget(bytes)
 }
 
 // VPs converts the world's probes to selector vantage points.

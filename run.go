@@ -53,7 +53,11 @@ func (p *Pipeline) Run(ctx context.Context, metro int, cfg Config) (*Result, err
 	if err := ctx.Err(); err != nil {
 		return nil, abortErr(metro, "run", err)
 	}
-	members := g.Metros[metro].Members
+	// Dense-metro pruning: Internet-scale head metros colocate thousands
+	// of ASes, and everything below is O(members²). Metros at or under
+	// the cap pass through untouched (the slice is returned as-is), so
+	// legacy-scale results stay byte-identical.
+	members := probe.TopMembers(g, g.Metros[metro].Members, cfg.MaxMetroMembers)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	sel := probe.NewSelector(g, metro, members, p.VPs(), p.Hitlist)

@@ -1,0 +1,99 @@
+package metascritic_test
+
+// Internet-scale end-to-end benchmark: one full RunMetro against an
+// InternetMetros 100k-AS world under a bounded route-cache byte budget,
+// reporting peak RSS and cache-eviction counters alongside wall-clock.
+// This is the ROADMAP item-2 number — "run the full metro pipeline
+// against 100k-AS worlds and make per-world wall-clock and RSS
+// first-class bench metrics".
+//
+// The benchmark is opt-in (`make bench-100k` sets METASCRITIC_BENCH_100K):
+// world generation alone takes tens of seconds and a single-core run is
+// minutes, far beyond the CI trajectory scale of `make bench`. Knobs:
+//
+//	METASCRITIC_BENCH_100K=1        enable (otherwise the benchmark skips)
+//	METASCRITIC_BENCH_ASES=100000   world size (default 100000)
+//	METASCRITIC_BENCH_CACHE_MB=256  route-cache budget in MiB (0 = unbounded)
+//
+// At 100k ASes one packed route view is ~800 KB, so the default 256 MiB
+// budget holds ~330 destinations — far below the unbounded footprint of a
+// full campaign (every distinct destination it ever touches) — and the
+// eviction counters reported here are the evidence the budget actually
+// engaged. Eviction cannot change results (propagation is deterministic;
+// see TestBudgetedPipelineByteIdentical for the pinned equivalence).
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"metascritic"
+	"metascritic/internal/netsim"
+	"metascritic/internal/sysmem"
+)
+
+func benchEnvInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 0 {
+			return v
+		}
+	}
+	return def
+}
+
+func BenchmarkRunMetro100k(b *testing.B) {
+	if os.Getenv("METASCRITIC_BENCH_100K") == "" {
+		b.Skip("opt-in: set METASCRITIC_BENCH_100K=1 (or run `make bench-100k`)")
+	}
+	ases := benchEnvInt("METASCRITIC_BENCH_ASES", 100_000)
+	cacheMB := benchEnvInt("METASCRITIC_BENCH_CACHE_MB", 256)
+
+	w := netsim.Generate(netsim.Config{Seed: 1, Metros: netsim.InternetMetros(ases)})
+	p := metascritic.NewPipeline(w)
+	p.SetRouteCacheBudget(int64(cacheMB) << 20)
+
+	// Public-archive seeding, sampled: an Internet-scale world hosts tens
+	// of thousands of probes, and seeding every one (the legacy
+	// SeedPublicMeasurements contract) would dwarf the pipeline being
+	// measured. A strided sample keeps the evidence layer realistically
+	// warm at a bounded cost.
+	const seedTraces = 800
+	rng := rand.New(rand.NewSource(1))
+	stride := len(w.Probes) / seedTraces
+	if stride < 1 {
+		stride = 1
+	}
+	n := w.G.N()
+	for i := 0; i < len(w.Probes); i += stride {
+		pr := w.Probes[i]
+		if dst := rng.Intn(n); dst != pr.AS {
+			p.Store.AddTrace(p.Engine.Run(pr.AS, pr.Metro, dst))
+		}
+	}
+
+	cfg := metascritic.DefaultConfig()
+	cfg.MaxMeasurements = 4000
+	cfg.Rank.MaxRank = 12
+	cfg.Rank.Iterations = 6
+
+	metro := w.PrimaryMetros()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := p.Snapshot()
+		res, err := snap.Run(context.Background(), metro, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			st := p.Engine.Cache.Stats()
+			b.ReportMetric(float64(res.Measurements), "measurements")
+			b.ReportMetric(float64(len(res.Members)), "members")
+			b.ReportMetric(float64(st.Evicted), "cache-evictions")
+			b.ReportMetric(float64(st.Bytes), "cache-bytes")
+			b.ReportMetric(float64(st.BudgetBytes), "cache-budget-bytes")
+			b.ReportMetric(float64(sysmem.PeakRSSBytes()), "peak-rss-bytes")
+		}
+	}
+}

@@ -34,6 +34,9 @@ func (c Config) Validate() error {
 	if c.BootstrapPerStrategy < 0 {
 		return fmt.Errorf("%w: BootstrapPerStrategy must be non-negative, got %d", ErrInvalidConfig, c.BootstrapPerStrategy)
 	}
+	if c.MaxMetroMembers < 0 {
+		return fmt.Errorf("%w: MaxMetroMembers must be non-negative (0 = no cap), got %d", ErrInvalidConfig, c.MaxMetroMembers)
+	}
 	if c.MeasureWorkers < 0 {
 		return fmt.Errorf("%w: MeasureWorkers must be non-negative (0 = GOMAXPROCS, 1 = serial), got %d", ErrInvalidConfig, c.MeasureWorkers)
 	}
